@@ -1,0 +1,41 @@
+// Command recoverbench regenerates the paper's Figure 4: the crash-recovery
+// time breakdown (locate / rebuild / write-back) as the number of pending
+// write records varies, including the write-back-skipped variant.
+//
+// Usage:
+//
+//	recoverbench [-q "32,64,128,256"] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"tracklog/internal/experiments"
+)
+
+func main() {
+	qFlag := flag.String("q", "32,64,128,256", "comma-separated pending-record counts")
+	seed := flag.Uint64("seed", 3, "random seed")
+	flag.Parse()
+
+	var qs []int
+	for _, part := range strings.Split(*qFlag, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v <= 0 {
+			fmt.Fprintf(os.Stderr, "recoverbench: bad -q element %q\n", part)
+			os.Exit(2)
+		}
+		qs = append(qs, v)
+	}
+	res, err := experiments.Figure4(qs, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "recoverbench:", err)
+		os.Exit(1)
+	}
+	fmt.Println(res)
+	fmt.Println(res.Plot())
+}

@@ -1,0 +1,69 @@
+// Command tpccbench regenerates the paper's §5.2 database experiments:
+// Table 2 (three storage systems under TPC-C), Table 3 (group commits vs
+// log buffer size), and the per-track log utilization analysis.
+//
+// Usage:
+//
+//	tpccbench [-table2] [-table3] [-util] [-paper] [-txns N] [-conc N] [-seed N]
+//
+// With no selection flags, everything runs. -paper uses the full w=1 TPC-C
+// sizing (much slower).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tracklog/internal/experiments"
+)
+
+func main() {
+	table2 := flag.Bool("table2", false, "run Table 2 (storage system comparison)")
+	table3 := flag.Bool("table3", false, "run Table 3 (group commit counts)")
+	util := flag.Bool("util", false, "run the section 5.2 track utilization analysis")
+	paper := flag.Bool("paper", false, "use the paper's full w=1 scale (slow)")
+	txns := flag.Int("txns", 0, "override measured transaction count")
+	conc := flag.Int("conc", 0, "override concurrency")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	all := !*table2 && !*table3 && !*util
+	cfg := experiments.TPCCConfig{Seed: *seed}
+	if *paper {
+		cfg = experiments.PaperScale()
+		cfg.Seed = *seed
+	}
+	if *txns > 0 {
+		cfg.Transactions = *txns
+	}
+	if *conc > 0 {
+		cfg.Concurrency = *conc
+	}
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "tpccbench:", err)
+		os.Exit(1)
+	}
+
+	if all || *table2 {
+		res, err := experiments.Table2(cfg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(res)
+	}
+	if all || *table3 {
+		res, err := experiments.Table3(cfg, nil)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(res)
+	}
+	if all || *util {
+		res, err := experiments.TrackUtilization(cfg, nil)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(res)
+	}
+}

@@ -1,0 +1,117 @@
+// Command trailbench regenerates the paper's raw-disk experiments: Figure 3
+// (synchronous write latency, Trail vs the standard subsystem), Table 1
+// (batched writes), the §3.1 delta calibration, and the §5.1 latency
+// anatomy.
+//
+// Usage:
+//
+//	trailbench [-fig3] [-table1] [-delta] [-anatomy] [-procs N] [-writes N] [-seed N]
+//
+// With no selection flags, everything runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tracklog/internal/experiments"
+)
+
+func main() {
+	fig3 := flag.Bool("fig3", false, "run Figure 3 (sync write latency vs size)")
+	table1 := flag.Bool("table1", false, "run Table 1 (batched writes)")
+	delta := flag.Bool("delta", false, "run the section 3.1 delta calibration")
+	anatomy := flag.Bool("anatomy", false, "run the section 5.1 latency anatomy")
+	ablate := flag.Bool("ablate", false, "run the design-choice ablations (threshold, read priority, recovery optimizations)")
+	ext := flag.Bool("ext", false, "run the extensions (multi-log-disk, O_SYNC file metadata, RAID-5 small writes)")
+	procs := flag.Int("procs", 0, "Figure 3 multiprogramming level (0 = both panels: 1 and 5)")
+	writes := flag.Int("writes", 200, "writes per measurement point")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	all := !*fig3 && !*table1 && !*delta && !*anatomy && !*ablate && !*ext
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "trailbench:", err)
+		os.Exit(1)
+	}
+
+	if all || *fig3 {
+		panels := []int{1, 5}
+		if *procs > 0 {
+			panels = []int{*procs}
+		}
+		for _, p := range panels {
+			res, err := experiments.Figure3(experiments.Figure3Config{
+				Processes:        p,
+				WritesPerProcess: *writes,
+				Seed:             *seed,
+			})
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(res)
+			fmt.Println(res.Plot())
+		}
+	}
+	if all || *table1 {
+		res, err := experiments.Table1(32, nil)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(res)
+	}
+	if all || *delta {
+		res, err := experiments.DeltaCalibration(nil, *writes/10+5)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(res)
+	}
+	if all || *anatomy {
+		res, err := experiments.LatencyAnatomy(*writes / 4)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(res)
+	}
+	if all || *ablate {
+		th, err := experiments.ThresholdSweep(nil, *writes, *seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(th)
+		rp, err := experiments.ReadPriorityAblation(*writes/2, *seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(rp)
+		ro, err := experiments.RecoveryOptimizationsAblation(64, *seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(ro)
+	}
+	if all || *ext {
+		ml, err := experiments.MultiLogAblation(nil, *writes, *seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(ml)
+		fm, err := experiments.FSMetadata(*writes/4, *seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(fm)
+		r5, err := experiments.RAID5SmallWrites(*writes/2, *seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(r5)
+		dl, err := experiments.DirectLogging(*writes/2, *seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(dl)
+	}
+}

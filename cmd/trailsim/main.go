@@ -1,0 +1,190 @@
+// Command trailsim is a free-form scenario runner: it drives a configurable
+// synchronous-write workload against either the Trail subsystem or the
+// standard baseline and prints the latency distribution.
+//
+// Usage:
+//
+//	trailsim [-system trail|std] [-mode sparse|clustered] [-size BYTES]
+//	         [-procs N] [-writes N] [-seed N]
+//	trailsim -pattern uniform|sequential|zipf [-write-ratio R]   # synthetic trace
+//	trailsim -trace FILE                                         # replay a trace file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"tracklog/internal/blockdev"
+	"tracklog/internal/disk"
+	"tracklog/internal/sched"
+	"tracklog/internal/sim"
+	"tracklog/internal/stddisk"
+	"tracklog/internal/trail"
+	"tracklog/internal/workload"
+)
+
+func main() {
+	system := flag.String("system", "trail", "storage system: trail or std")
+	mode := flag.String("mode", "sparse", "arrival mode: sparse or clustered")
+	size := flag.Int("size", 1024, "write size in bytes (sector multiple)")
+	procs := flag.Int("procs", 1, "concurrent writer processes")
+	writes := flag.Int("writes", 200, "writes per process")
+	seed := flag.Uint64("seed", 1, "random seed")
+	traceFile := flag.String("trace", "", "replay an I/O trace file instead of the synthetic workload")
+	pattern := flag.String("pattern", "", "synthesize-and-replay with this target pattern: uniform, sequential, zipf")
+	writeRatio := flag.Float64("write-ratio", 0.7, "write fraction for -pattern traces")
+	flag.Parse()
+
+	var err error
+	switch {
+	case *traceFile != "":
+		err = runTraceFile(*system, *traceFile)
+	case *pattern != "":
+		err = runPattern(*system, *pattern, *writes, *size, *writeRatio, *seed)
+	default:
+		err = run(*system, *mode, *size, *procs, *writes, *seed)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trailsim:", err)
+		os.Exit(1)
+	}
+}
+
+// buildDevice assembles the chosen storage system on a fresh environment.
+func buildDevice(env *sim.Env, system string) (blockdev.Device, *trail.Driver, error) {
+	switch system {
+	case "trail":
+		log := disk.New(env, disk.ST41601N())
+		if err := trail.Format(log); err != nil {
+			return nil, nil, err
+		}
+		data := disk.New(env, disk.WDCaviar())
+		drv, err := trail.NewDriver(env, log, []*disk.Disk{data}, trail.Config{})
+		if err != nil {
+			return nil, nil, err
+		}
+		return drv.Dev(0), drv, nil
+	case "std":
+		d := disk.New(env, disk.WDCaviar())
+		return stddisk.New(env, d, blockdev.DevID{Major: 3}, sched.LOOK), nil, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown system %q", system)
+	}
+}
+
+// runTraceFile replays a trace file against the chosen system.
+func runTraceFile(system, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := workload.ParseTrace(f)
+	if err != nil {
+		return err
+	}
+	env := sim.NewEnv()
+	defer env.Close()
+	dev, _, err := buildDevice(env, system)
+	if err != nil {
+		return err
+	}
+	res, err := workload.Replay(env, dev, tr)
+	if err != nil {
+		return err
+	}
+	printReplay(system, path, res)
+	return nil
+}
+
+// runPattern synthesizes a trace with the named pattern and replays it.
+func runPattern(system, pattern string, ops, size int, writeRatio float64, seed uint64) error {
+	env := sim.NewEnv()
+	defer env.Close()
+	dev, _, err := buildDevice(env, system)
+	if err != nil {
+		return err
+	}
+	var pat workload.Pattern
+	switch pattern {
+	case "uniform":
+		pat = workload.UniformPattern{}
+	case "sequential":
+		pat = &workload.SequentialPattern{}
+	case "zipf":
+		pat = workload.NewZipf(10000, 0.99)
+	default:
+		return fmt.Errorf("unknown pattern %q", pattern)
+	}
+	tr := workload.SynthesizeTrace(ops, pat, writeRatio, size/512, 3*time.Millisecond, dev.Sectors(), seed)
+	res, err := workload.Replay(env, dev, tr)
+	if err != nil {
+		return err
+	}
+	printReplay(system, pat.String(), res)
+	return nil
+}
+
+func printReplay(system, source string, res *workload.ReplayResult) {
+	fmt.Printf("%s / trace %s\n", system, source)
+	fmt.Printf("reads:  %v\n", res.Reads)
+	fmt.Printf("writes: %v\n", res.Writes)
+	fmt.Printf("elapsed %v, %d ops issued late\n", res.Elapsed, res.Lagged)
+}
+
+func run(system, mode string, size, procs, writes int, seed uint64) error {
+	env := sim.NewEnv()
+	defer env.Close()
+
+	var dev blockdev.Device
+	var drv *trail.Driver
+	switch system {
+	case "trail":
+		log := disk.New(env, disk.ST41601N())
+		if err := trail.Format(log); err != nil {
+			return err
+		}
+		data := disk.New(env, disk.WDCaviar())
+		var err error
+		drv, err = trail.NewDriver(env, log, []*disk.Disk{data}, trail.Config{})
+		if err != nil {
+			return err
+		}
+		dev = drv.Dev(0)
+	case "std":
+		d := disk.New(env, disk.WDCaviar())
+		dev = stddisk.New(env, d, blockdev.DevID{Major: 3}, sched.LOOK)
+	default:
+		return fmt.Errorf("unknown system %q", system)
+	}
+
+	m := workload.Sparse
+	if mode == "clustered" {
+		m = workload.Clustered
+	} else if mode != "sparse" {
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+
+	res, err := workload.RunSyncWrites(env, dev, workload.SyncWriteConfig{
+		Mode:             m,
+		WriteSize:        size,
+		Processes:        procs,
+		WritesPerProcess: writes,
+		Seed:             seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s / %s / %dB x %d writes x %d procs\n", system, mode, size, writes, procs)
+	fmt.Printf("latency: %v\n", res.Latency)
+	fmt.Printf("elapsed: %v  throughput: %.0f writes/s\n",
+		res.Elapsed, float64(res.Latency.Count())/res.Elapsed.Seconds())
+	if drv != nil {
+		s := drv.Stats()
+		fmt.Printf("trail: %d records for %d writes (batching %.2fx), %d repositions, avg track util %.1f%%\n",
+			s.Records, s.Writes, float64(s.Writes)/float64(s.Records), s.Repositions, 100*s.AvgTrackUtilization())
+	}
+	return nil
+}

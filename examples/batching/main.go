@@ -1,0 +1,67 @@
+// Batching example: show how Trail aggregates queued synchronous writes
+// into single physical log writes (the paper's Table 1 effect), and how the
+// latency of an individual write decomposes.
+//
+//	go run ./examples/batching
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"tracklog"
+)
+
+func main() {
+	fmt.Println("Concurrent 1-sector synchronous writes through one Trail log disk:")
+	fmt.Printf("%12s %14s %14s %12s\n", "writers", "elapsed", "phys. writes", "per write")
+	for _, writers := range []int{1, 4, 16, 32} {
+		elapsed, records, err := burst(writers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%12d %14v %14d %12v\n",
+			writers, elapsed.Round(time.Microsecond), records,
+			(elapsed / time.Duration(writers)).Round(time.Microsecond))
+	}
+	fmt.Println("\nEach physical write carries every request queued while the previous")
+	fmt.Println("one was in flight, so total time grows far slower than the write count.")
+}
+
+// burst issues `writers` one-sector writes at the same instant and reports
+// the total elapsed time and the number of physical log writes used.
+func burst(writers int) (time.Duration, int64, error) {
+	sys, err := tracklog.NewSystem(tracklog.SystemConfig{})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer sys.Close()
+
+	// Warm the head-position predictor so measurements are steady-state.
+	sys.Go("warmup", func(p *tracklog.Proc) {
+		sys.Trail.Dev(0).Write(p, 1<<20, 1, make([]byte, tracklog.SectorSize))
+	})
+	sys.Run()
+	recordsBefore := sys.Trail.Stats().Records
+
+	var start, end tracklog.Time
+	started := false
+	for i := 0; i < writers; i++ {
+		lba := int64(i * 64)
+		sys.Go("writer", func(p *tracklog.Proc) {
+			if !started {
+				started = true
+				start = p.Now()
+			}
+			if err := sys.Trail.Dev(0).Write(p, lba, 1, make([]byte, tracklog.SectorSize)); err != nil {
+				log.Fatal(err)
+			}
+			if p.Now() > end {
+				end = p.Now()
+			}
+		})
+	}
+	sys.Run()
+	return end.Sub(start), sys.Trail.Stats().Records - recordsBefore, nil
+}

@@ -1,0 +1,119 @@
+// Database example: run TPC-C-style transactions over the Trail subsystem
+// and over the standard baseline, comparing commit latency and throughput —
+// a miniature of the paper's Table 2.
+//
+//	go run ./examples/database
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tracklog"
+	"tracklog/internal/blockdev"
+	"tracklog/internal/disk"
+	"tracklog/internal/sched"
+	"tracklog/internal/sim"
+	"tracklog/internal/stddisk"
+	"tracklog/internal/tpcc"
+	"tracklog/internal/trail"
+	"tracklog/internal/txn"
+	"tracklog/internal/wal"
+)
+
+// dbConfig is a small TPC-C database that loads in a moment.
+func dbConfig() tpcc.Config {
+	return tpcc.Config{
+		Warehouses:               1,
+		Districts:                5,
+		CustomersPerDistrict:     200,
+		Items:                    2000,
+		InitialOrdersPerDistrict: 100,
+		CachePages:               1500,
+		Seed:                     11,
+	}
+}
+
+func main() {
+	for _, useTrail := range []bool{true, false} {
+		name := "standard"
+		if useTrail {
+			name = "trail"
+		}
+		res, err := runSystem(useTrail)
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Printf("%-8s  committed=%d  tpmC=%.0f  avg response=%v  log I/O=%v (%d flushes)\n",
+			name, res.Committed, res.TpmC(), res.Response.Mean().Round(0), res.LogIOTime, res.LogFlushes)
+	}
+}
+
+func runSystem(useTrail bool) (*tpcc.Result, error) {
+	env := sim.NewEnv()
+	defer env.Close()
+
+	// Three IDE disks: one for the database log file, two for tables.
+	var phys []*disk.Disk
+	for i := 0; i < 3; i++ {
+		phys = append(phys, disk.New(env, disk.WDCaviar()))
+	}
+
+	// Populate through instant devices: setup work, not measured.
+	var db *tpcc.DB
+	var err error
+	env.Go("load", func(p *sim.Proc) {
+		inst := []blockdev.Device{
+			disk.NewInstantDev(phys[1], blockdev.DevID{Major: 3, Minor: 1}),
+			disk.NewInstantDev(phys[2], blockdev.DevID{Major: 3, Minor: 2}),
+		}
+		db, err = tpcc.Load(p, dbConfig(), inst)
+		if err == nil {
+			err = db.FlushAll(p)
+		}
+	})
+	env.Run()
+	if err != nil {
+		return nil, err
+	}
+
+	// Reopen the tables on the measured storage system.
+	var logDev, tab1, tab2 blockdev.Device
+	if useTrail {
+		logDisk := disk.New(env, disk.ST41601N())
+		if err := trail.Format(logDisk); err != nil {
+			return nil, err
+		}
+		drv, err := trail.NewDriver(env, logDisk, phys, trail.Default())
+		if err != nil {
+			return nil, err
+		}
+		logDev, tab1, tab2 = drv.Dev(0), drv.Dev(1), drv.Dev(2)
+	} else {
+		logDev = stddisk.New(env, phys[0], blockdev.DevID{Major: 3, Minor: 0}, sched.LOOK)
+		tab1 = stddisk.New(env, phys[1], blockdev.DevID{Major: 3, Minor: 1}, sched.LOOK)
+		tab2 = stddisk.New(env, phys[2], blockdev.DevID{Major: 3, Minor: 2}, sched.LOOK)
+	}
+
+	var runner *tpcc.Runner
+	env.Go("open", func(p *sim.Proc) {
+		rdb, oerr := tpcc.Reopen(p, dbConfig(), []blockdev.Device{tab1, tab2})
+		if oerr != nil {
+			err = oerr
+			return
+		}
+		l, oerr := wal.New(env, wal.Config{Dev: logDev, Sectors: logDev.Sectors()})
+		if oerr != nil {
+			err = oerr
+			return
+		}
+		runner = tpcc.NewRunner(rdb, txn.NewManager(env, l))
+	})
+	env.Run()
+	if err != nil {
+		return nil, err
+	}
+	return runner.Run(env, tpcc.RunConfig{Transactions: 300, Concurrency: 2, Warmup: 50, Seed: 21})
+}
+
+var _ = tracklog.SectorSize // the example builds against the public module

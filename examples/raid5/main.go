@@ -1,0 +1,120 @@
+// RAID-5 example: the paper's §6 proposal in action. A four-disk RAID-5
+// array is built twice — over standard devices and over Trail data devices —
+// and hit with random small writes (the classic RAID-5 weak spot: each one
+// costs two reads plus two synchronous writes). A device failure at the end
+// shows parity reconstruction running over either backing.
+//
+//	go run ./examples/raid5
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"tracklog"
+	"tracklog/internal/blockdev"
+	"tracklog/internal/disk"
+	"tracklog/internal/metrics"
+	"tracklog/internal/raid"
+	"tracklog/internal/sched"
+	"tracklog/internal/sim"
+	"tracklog/internal/stddisk"
+	"tracklog/internal/trail"
+)
+
+const (
+	nDisks = 4
+	chunk  = 8 // sectors
+	writes = 60
+)
+
+func main() {
+	for _, useTrail := range []bool{false, true} {
+		name := "standard"
+		if useTrail {
+			name = "trail-backed"
+		}
+		mean, reconstructed, err := run(useTrail)
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Printf("%-13s small write mean %8v   degraded read OK: %v\n",
+			name, mean.Round(10*time.Microsecond), reconstructed)
+	}
+	fmt.Println("\nThe data+parity writes of each read-modify-write ride the Trail log;")
+	fmt.Println("the two reads still pay full seek+rotation, bounding the speedup (~1.5x).")
+}
+
+func run(useTrail bool) (time.Duration, bool, error) {
+	env := sim.NewEnv()
+	defer env.Close()
+
+	var devs []blockdev.Device
+	if useTrail {
+		lg := disk.New(env, disk.ST41601N())
+		if err := trail.Format(lg); err != nil {
+			return 0, false, err
+		}
+		var raws []*disk.Disk
+		for i := 0; i < nDisks; i++ {
+			raws = append(raws, disk.New(env, disk.WDCaviar()))
+		}
+		drv, err := trail.NewDriver(env, lg, raws, trail.Default())
+		if err != nil {
+			return 0, false, err
+		}
+		for i := 0; i < nDisks; i++ {
+			devs = append(devs, drv.Dev(i))
+		}
+	} else {
+		for i := 0; i < nDisks; i++ {
+			d := disk.New(env, disk.WDCaviar())
+			devs = append(devs, stddisk.New(env, d, blockdev.DevID{Major: 9, Minor: uint8(i)}, sched.LOOK))
+		}
+	}
+	array, err := raid.New(devs, chunk)
+	if err != nil {
+		return 0, false, err
+	}
+
+	lat := metrics.NewSummary()
+	reconstructed := false
+	var ferr error
+	env.Go("workload", func(p *sim.Proc) {
+		rng := sim.NewRand(7)
+		region := array.Sectors() / 128
+		payload := make([]byte, chunk*tracklog.SectorSize)
+		for i := 0; i < writes; i++ {
+			lba := rng.Int64n(region/chunk) * chunk
+			for j := range payload {
+				payload[j] = byte(i + j)
+			}
+			start := p.Now()
+			if err := array.Write(p, lba, chunk, payload); err != nil {
+				ferr = err
+				return
+			}
+			lat.Add(p.Now().Sub(start))
+			p.Sleep(2 * time.Millisecond)
+		}
+		// Kill a disk; reads must still return correct data via parity.
+		if err := array.Fail(1); err != nil {
+			ferr = err
+			return
+		}
+		if _, err := array.Read(p, 0, chunk); err != nil {
+			ferr = err
+			return
+		}
+		reconstructed = array.Stats().Reconstructions > 0
+	})
+	deadline := sim.Time(5 * time.Minute)
+	for env.Now() < deadline && !reconstructed && ferr == nil {
+		env.RunUntil(env.Now().Add(500 * time.Millisecond))
+	}
+	if ferr != nil {
+		return 0, false, ferr
+	}
+	return lat.Mean(), reconstructed, nil
+}

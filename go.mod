@@ -1,0 +1,3 @@
+module tracklog
+
+go 1.22

@@ -1,0 +1,50 @@
+// Package blockdev defines the interface between storage clients (file
+// system, database, workload generators) and disk subsystem drivers (the
+// Trail driver and the standard baseline driver).
+//
+// It mirrors the boundary in the paper's Figure 2: "the interface exposed by
+// the Trail driver is exactly the same as those exposed by standard disk
+// device drivers" — clients issue synchronous block reads and writes and
+// cannot tell which driver serves them, except by latency.
+package blockdev
+
+import (
+	"errors"
+	"fmt"
+
+	"tracklog/internal/sim"
+)
+
+// ErrOutOfRange reports an access outside the device.
+var ErrOutOfRange = errors.New("blockdev: access outside device")
+
+// DevID names a data disk the way the paper's record headers do, with the
+// Unix major/minor device pair.
+type DevID struct {
+	Major, Minor uint8
+}
+
+func (id DevID) String() string { return fmt.Sprintf("dev(%d,%d)", id.Major, id.Minor) }
+
+// Device is a synchronous block device. Write returns only when the write is
+// durable (for Trail, that means logged; for the baseline, in place on the
+// platter). Both calls block the invoking simulated process for the full
+// service time.
+type Device interface {
+	// ID returns the device identity.
+	ID() DevID
+	// Sectors returns the device capacity in sectors.
+	Sectors() int64
+	// Read returns count sectors starting at lba.
+	Read(p *sim.Proc, lba int64, count int) ([]byte, error)
+	// Write makes count sectors at lba durable.
+	Write(p *sim.Proc, lba int64, count int, data []byte) error
+}
+
+// CheckRange validates an access against a device size.
+func CheckRange(sectors, lba int64, count int) error {
+	if lba < 0 || count <= 0 || lba+int64(count) > sectors {
+		return fmt.Errorf("%w: [%d,+%d) of %d", ErrOutOfRange, lba, count, sectors)
+	}
+	return nil
+}

@@ -1,0 +1,469 @@
+// Package disk implements a deterministic rotational disk drive model on the
+// sim virtual clock.
+//
+// The model reproduces the mechanical behaviour Trail exploits: a shared
+// spindle whose rotational phase is a pure function of virtual time, a seek
+// curve, head-switch delays, fixed per-command processing overhead, a
+// write-after-command turnaround penalty, and sector-granular media
+// persistence (so a crash mid-transfer leaves a torn record, exactly what
+// Trail's self-describing log format must tolerate).
+//
+// Drivers interact with the drive the way a kernel driver does through SCSI
+// or IDE: they submit a read or write for a contiguous LBA range and block
+// until the command completes. Nothing exposes the instantaneous head
+// position — the Trail driver must *predict* it, and a misprediction costs a
+// near-full rotation here just as it does on hardware.
+package disk
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"tracklog/internal/geom"
+	"tracklog/internal/sim"
+)
+
+// Params describes a drive's mechanics. Use ST41601N or WDCaviar for the
+// paper's drives, or build custom parameters for ablations.
+type Params struct {
+	// Name identifies the drive model in stats and errors.
+	Name string
+	// RPM is the spindle speed.
+	RPM int
+	// Geom is the physical layout.
+	Geom geom.Geometry
+	// SeekT2T, SeekAvg and SeekMax calibrate the seek-time curve at
+	// distance 1, one-third stroke and full stroke.
+	SeekT2T, SeekAvg, SeekMax time.Duration
+	// HeadSwitch is the time to activate a different head on the same
+	// cylinder.
+	HeadSwitch time.Duration
+	// ReadOverhead and WriteOverhead are the fixed command processing
+	// costs (host driver, controller, on-disk firmware) per command.
+	ReadOverhead, WriteOverhead time.Duration
+	// WriteSettle is the extra head-settle time before a write may start.
+	WriteSettle time.Duration
+	// WriteTurnaround delays a write command that arrives hot on the heels
+	// of a previous command: the write cannot start at the media until
+	// WriteTurnaround after the previous command completed. The paper
+	// calls this the "write-after-write command delay".
+	WriteTurnaround time.Duration
+	// DriftPPM skews the actual spindle speed from the nominal RPM by
+	// parts per million. Drivers predict with the nominal rotation period,
+	// so a non-zero drift makes head-position predictions decay over idle
+	// time — the deviation the paper's periodic repositioning guards
+	// against ("because of the deviation in the disk rotation speed ...
+	// the predictions will go awry after a long period of disk idle
+	// time", section 3.1).
+	DriftPPM int64
+}
+
+// Validate reports whether the parameters are usable.
+func (p *Params) Validate() error {
+	if p.RPM <= 0 {
+		return fmt.Errorf("disk %s: RPM %d", p.Name, p.RPM)
+	}
+	if err := p.Geom.Validate(); err != nil {
+		return fmt.Errorf("disk %s: %w", p.Name, err)
+	}
+	if p.SeekT2T <= 0 || p.SeekAvg < p.SeekT2T || p.SeekMax < p.SeekAvg {
+		return fmt.Errorf("disk %s: seek curve %v/%v/%v not increasing", p.Name, p.SeekT2T, p.SeekAvg, p.SeekMax)
+	}
+	return nil
+}
+
+// RotPeriod returns the time of one revolution.
+func (p Params) RotPeriod() time.Duration {
+	return time.Duration(int64(time.Minute) / int64(p.RPM))
+}
+
+// SectorTime returns the media transfer time of one sector at the given
+// cylinder.
+func (p Params) SectorTime(cyl int) time.Duration {
+	return p.RotPeriod() / time.Duration(p.Geom.SPTAt(cyl))
+}
+
+// ST41601N returns parameters for the paper's log disk: a Seagate 5400-RPM
+// SCSI drive, 1.37 GB, 35,717 tracks (2101 cylinders x 17 heads), 1.7 ms
+// track-to-track seek. Fixed write-command overhead is calibrated so a
+// one-sector Trail record write costs ~1.4 ms as measured in §5.1.
+func ST41601N() Params {
+	return Params{
+		Name: "ST41601N",
+		RPM:  5400,
+		Geom: geom.Geometry{
+			Cylinders: 2101,
+			Heads:     17,
+			Zones: []geom.Zone{
+				{StartCyl: 0, EndCyl: 699, SPT: 84},
+				{StartCyl: 700, EndCyl: 1400, SPT: 75},
+				{StartCyl: 1401, EndCyl: 2100, SPT: 66},
+			},
+			TrackSkew: 6,
+			CylSkew:   12,
+		},
+		SeekT2T:         1700 * time.Microsecond,
+		SeekAvg:         11 * time.Millisecond,
+		SeekMax:         22 * time.Millisecond,
+		HeadSwitch:      800 * time.Microsecond,
+		ReadOverhead:    550 * time.Microsecond,
+		WriteOverhead:   950 * time.Microsecond,
+		WriteSettle:     150 * time.Microsecond,
+		WriteTurnaround: 1 * time.Millisecond,
+	}
+}
+
+// WDCaviar returns parameters for the paper's data disks: Western Digital
+// 5400-RPM IDE drives, ~10 GB, 2 ms track-to-track seek, ~102,000 tracks.
+func WDCaviar() Params {
+	return Params{
+		Name: "WDCaviar",
+		RPM:  5400,
+		Geom: geom.Geometry{
+			Cylinders: 25500,
+			Heads:     4,
+			Zones: []geom.Zone{
+				{StartCyl: 0, EndCyl: 8499, SPT: 210},
+				{StartCyl: 8500, EndCyl: 16999, SPT: 190},
+				{StartCyl: 17000, EndCyl: 25499, SPT: 170},
+			},
+			TrackSkew: 18,
+			CylSkew:   36,
+		},
+		SeekT2T:         2 * time.Millisecond,
+		SeekAvg:         12 * time.Millisecond,
+		SeekMax:         24 * time.Millisecond,
+		HeadSwitch:      1 * time.Millisecond,
+		ReadOverhead:    400 * time.Microsecond,
+		WriteOverhead:   900 * time.Microsecond,
+		WriteSettle:     200 * time.Microsecond,
+		WriteTurnaround: 1 * time.Millisecond,
+	}
+}
+
+// Request is one disk command: a read or write of Count contiguous sectors
+// starting at LBA. For writes, Data must hold Count*512 bytes; for reads,
+// Data is filled in by Access (allocated if nil).
+type Request struct {
+	Write bool
+	LBA   int64
+	Count int
+	Data  []byte
+}
+
+// Result reports when a command ran and where its time went.
+type Result struct {
+	Start, End sim.Time
+	// Component breakdown; these sum (with Transfer) to End-Start.
+	Turnaround, Overhead, Seek, Switch, Settle, Rotate, Transfer time.Duration
+}
+
+// Latency returns the command's total service time.
+func (r Result) Latency() time.Duration { return r.End.Sub(r.Start) }
+
+// Stats aggregates drive activity, used for the paper's "disk I/O time"
+// accounting.
+type Stats struct {
+	Reads, Writes               int64
+	SectorsRead, SectorsWritten int64
+	Busy                        time.Duration
+	SeekTime, RotateTime        time.Duration
+	TransferTime                time.Duration
+}
+
+// Disk is a simulated drive. Create with New; all methods must be called
+// from simulated processes of the bound environment (except the Media*
+// helpers, which are timeless test/recovery-verification accessors).
+type Disk struct {
+	params Params
+	env    *sim.Env
+	arm    *sim.Resource
+
+	armCyl, armHead int
+	lastCmdEnd      sim.Time
+
+	rotPeriod           time.Duration
+	seekA, seekB, seekC float64 // seek curve coefficients over sqrt(d) basis
+
+	media map[int64][]byte
+	stats Stats
+}
+
+// New returns a drive with the given parameters bound to env. It panics on
+// invalid parameters (a construction bug, not a runtime condition).
+func New(env *sim.Env, params Params) *Disk {
+	if err := params.Validate(); err != nil {
+		panic(err)
+	}
+	rot := params.RotPeriod()
+	if params.DriftPPM != 0 {
+		rot = time.Duration(int64(rot) + int64(rot)*params.DriftPPM/1_000_000)
+	}
+	d := &Disk{
+		params:    params,
+		env:       env,
+		arm:       sim.NewResource(env, 1),
+		rotPeriod: rot,
+		media:     make(map[int64][]byte),
+	}
+	d.fitSeekCurve()
+	return d
+}
+
+// Params returns the drive parameters.
+func (d *Disk) Params() Params { return d.params }
+
+// Geom returns the drive geometry.
+func (d *Disk) Geom() *geom.Geometry { return &d.params.Geom }
+
+// Stats returns a copy of the accumulated activity counters.
+func (d *Disk) Stats() Stats { return d.stats }
+
+// ResetStats zeroes the activity counters.
+func (d *Disk) ResetStats() { d.stats = Stats{} }
+
+// Reattach rebinds the drive to a fresh environment after a simulated crash
+// and reboot. Media contents survive; arm position is arbitrary (we keep it)
+// and any in-flight command is lost, exactly like a power cut.
+func (d *Disk) Reattach(env *sim.Env) {
+	d.env = env
+	d.arm = sim.NewResource(env, 1)
+	d.lastCmdEnd = 0
+}
+
+// fitSeekCurve solves t(d) = a + b*sqrt(d) + c*d through the three calibration
+// points (1, T2T), (C/3, Avg), (C-1, Max).
+func (d *Disk) fitSeekCurve() {
+	c := d.params.Geom.Cylinders
+	x1, y1 := 1.0, float64(d.params.SeekT2T)
+	x2, y2 := float64(c)/3, float64(d.params.SeekAvg)
+	x3, y3 := float64(c-1), float64(d.params.SeekMax)
+	// Gaussian elimination on the 3x3 system in (a, b, c).
+	m := [3][4]float64{
+		{1, math.Sqrt(x1), x1, y1},
+		{1, math.Sqrt(x2), x2, y2},
+		{1, math.Sqrt(x3), x3, y3},
+	}
+	for col := 0; col < 3; col++ {
+		pivot := col
+		for r := col + 1; r < 3; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[pivot][col]) {
+				pivot = r
+			}
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		for r := 0; r < 3; r++ {
+			if r == col || m[col][col] == 0 {
+				continue
+			}
+			f := m[r][col] / m[col][col]
+			for k := col; k < 4; k++ {
+				m[r][k] -= f * m[col][k]
+			}
+		}
+	}
+	d.seekA = m[0][3] / m[0][0]
+	d.seekB = m[1][3] / m[1][1]
+	d.seekC = m[2][3] / m[2][2]
+}
+
+// SeekTime returns the arm travel time across dist cylinders.
+func (d *Disk) SeekTime(dist int) time.Duration {
+	if dist <= 0 {
+		return 0
+	}
+	if dist == 1 {
+		return d.params.SeekT2T
+	}
+	x := float64(dist)
+	t := d.seekA + d.seekB*math.Sqrt(x) + d.seekC*x
+	if t < float64(d.params.SeekT2T) {
+		t = float64(d.params.SeekT2T)
+	}
+	return time.Duration(t)
+}
+
+// phase returns the rotational position at t as a fraction of a revolution.
+func (d *Disk) phase(t sim.Time) float64 {
+	rp := int64(d.rotPeriod)
+	return float64(int64(t)%rp) / float64(rp)
+}
+
+// rotateWait returns how long from time t until the platter reaches angle.
+func (d *Disk) rotateWait(t sim.Time, angle float64) time.Duration {
+	diff := angle - d.phase(t)
+	if diff < 0 {
+		diff++
+	}
+	return time.Duration(diff * float64(d.rotPeriod))
+}
+
+// Access executes one command, blocking p for its full service time, and
+// returns the timing breakdown. Commands are serialized on the arm in FIFO
+// order; request scheduling policy belongs to the layer above.
+func (d *Disk) Access(p *sim.Proc, req *Request) Result {
+	if req.Count <= 0 {
+		panic(fmt.Sprintf("disk %s: Access with count %d", d.params.Name, req.Count))
+	}
+	if req.LBA < 0 || req.LBA+int64(req.Count) > d.params.Geom.TotalSectors() {
+		panic(fmt.Sprintf("disk %s: Access [%d,+%d) outside drive", d.params.Name, req.LBA, req.Count))
+	}
+	if req.Write && len(req.Data) < req.Count*geom.SectorSize {
+		panic(fmt.Sprintf("disk %s: write of %d sectors with %d data bytes", d.params.Name, req.Count, len(req.Data)))
+	}
+	if !req.Write && req.Data == nil {
+		req.Data = make([]byte, req.Count*geom.SectorSize)
+	}
+
+	d.arm.Acquire(p)
+	defer d.arm.Release()
+
+	var res Result
+	res.Start = p.Now()
+
+	// Write turnaround: the drive cannot begin processing a write until
+	// WriteTurnaround after the previous command completed.
+	if req.Write && d.lastCmdEnd > 0 {
+		earliest := d.lastCmdEnd.Add(d.params.WriteTurnaround)
+		if p.Now() < earliest {
+			w := earliest.Sub(p.Now())
+			p.Sleep(w)
+			res.Turnaround = w
+		}
+	}
+
+	// Fixed command processing overhead.
+	overhead := d.params.ReadOverhead
+	if req.Write {
+		overhead = d.params.WriteOverhead
+	}
+	p.Sleep(overhead)
+	res.Overhead = overhead
+
+	// Media phase: walk the contiguous LBA range one track extent at a
+	// time. Each extent is positioned (seek + head switch + settle +
+	// rotation) and then transferred sector by sector so that a crash
+	// mid-transfer tears the record at a sector boundary.
+	g := &d.params.Geom
+	lba := req.LBA
+	remaining := req.Count
+	buf := req.Data
+	for remaining > 0 {
+		a := g.ToCHS(lba)
+		spt := g.SPTAt(a.Cyl)
+		extent := spt - a.Sector
+		if extent > remaining {
+			extent = remaining
+		}
+
+		// Seek.
+		if a.Cyl != d.armCyl {
+			dist := a.Cyl - d.armCyl
+			if dist < 0 {
+				dist = -dist
+			}
+			st := d.SeekTime(dist)
+			p.Sleep(st)
+			res.Seek += st
+			d.armCyl = a.Cyl
+		}
+		// Head switch.
+		if a.Head != d.armHead {
+			p.Sleep(d.params.HeadSwitch)
+			res.Switch += d.params.HeadSwitch
+			d.armHead = a.Head
+		}
+		// Write settle.
+		if req.Write && d.params.WriteSettle > 0 {
+			p.Sleep(d.params.WriteSettle)
+			res.Settle += d.params.WriteSettle
+		}
+		// Rotate to the start of the first sector of the extent.
+		rw := d.rotateWait(p.Now(), g.SectorAngle(a))
+		p.Sleep(rw)
+		res.Rotate += rw
+
+		// Transfer (at the actual spindle speed, drift included).
+		secTime := d.rotPeriod / time.Duration(spt)
+		for i := 0; i < extent; i++ {
+			p.Sleep(secTime)
+			res.Transfer += secTime
+			off := (req.Count - remaining + i) * geom.SectorSize
+			cur := lba + int64(i)
+			if req.Write {
+				d.writeSector(cur, buf[off:off+geom.SectorSize])
+			} else {
+				d.readSector(cur, buf[off:off+geom.SectorSize])
+			}
+		}
+		lba += int64(extent)
+		remaining -= extent
+	}
+
+	res.End = p.Now()
+	d.lastCmdEnd = res.End
+	d.accumulate(req, res)
+	return res
+}
+
+func (d *Disk) accumulate(req *Request, res Result) {
+	if req.Write {
+		d.stats.Writes++
+		d.stats.SectorsWritten += int64(req.Count)
+	} else {
+		d.stats.Reads++
+		d.stats.SectorsRead += int64(req.Count)
+	}
+	d.stats.Busy += res.Latency()
+	d.stats.SeekTime += res.Seek + res.Switch
+	d.stats.RotateTime += res.Rotate
+	d.stats.TransferTime += res.Transfer
+}
+
+func (d *Disk) writeSector(lba int64, data []byte) {
+	s, ok := d.media[lba]
+	if !ok {
+		s = make([]byte, geom.SectorSize)
+		d.media[lba] = s
+	}
+	copy(s, data)
+}
+
+func (d *Disk) readSector(lba int64, into []byte) {
+	if s, ok := d.media[lba]; ok {
+		copy(into, s)
+		return
+	}
+	for i := range into {
+		into[i] = 0
+	}
+}
+
+// MediaRead copies count sectors starting at lba out of the persistent media,
+// with no timing cost. Intended for tests and post-crash verification, not
+// for driver code paths.
+func (d *Disk) MediaRead(lba int64, count int) []byte {
+	out := make([]byte, count*geom.SectorSize)
+	for i := 0; i < count; i++ {
+		d.readSector(lba+int64(i), out[i*geom.SectorSize:(i+1)*geom.SectorSize])
+	}
+	return out
+}
+
+// MediaWrite stores count sectors at lba directly, with no timing cost.
+// Intended for formatting tools and test setup.
+func (d *Disk) MediaWrite(lba int64, data []byte) {
+	if len(data)%geom.SectorSize != 0 {
+		panic("disk: MediaWrite data not sector-aligned")
+	}
+	for i := 0; i < len(data)/geom.SectorSize; i++ {
+		d.writeSector(lba+int64(i), data[i*geom.SectorSize:(i+1)*geom.SectorSize])
+	}
+}
+
+// MediaZero discards all media contents (reformatting).
+func (d *Disk) MediaZero() { d.media = make(map[int64][]byte) }
+
+// WrittenSectors returns how many distinct sectors hold data.
+func (d *Disk) WrittenSectors() int { return len(d.media) }

@@ -1,0 +1,290 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"tracklog/internal/blockdev"
+	"tracklog/internal/disk"
+	"tracklog/internal/geom"
+	"tracklog/internal/metrics"
+	"tracklog/internal/sched"
+	"tracklog/internal/sim"
+	"tracklog/internal/stddisk"
+	"tracklog/internal/trail"
+	"tracklog/internal/workload"
+)
+
+// ThresholdRow is one point of the track-utilization-threshold sweep.
+type ThresholdRow struct {
+	Threshold    float64
+	MeanLatency  time.Duration
+	Repositions  int64
+	AvgTrackUtil float64
+}
+
+// ThresholdResult sweeps the 30% knob of §4.2.
+type ThresholdResult struct {
+	Rows []ThresholdRow
+}
+
+// ThresholdSweep measures the latency/space trade-off behind the paper's
+// fixed 30% track utilization threshold: low thresholds reposition after
+// nearly every record (latency pressure under clustered writes, poor space
+// use); high thresholds pack tracks but risk rotational waits for free runs.
+func ThresholdSweep(thresholds []float64, writes int, seed uint64) (*ThresholdResult, error) {
+	if len(thresholds) == 0 {
+		thresholds = []float64{0.05, 0.15, 0.30, 0.50, 0.80}
+	}
+	if writes == 0 {
+		writes = 200
+	}
+	res := &ThresholdResult{}
+	for _, th := range thresholds {
+		cfg := DefaultTrailConfig()
+		cfg.UtilizationThreshold = th
+		rig, err := newTrailRig(1, cfg)
+		if err != nil {
+			return nil, err
+		}
+		wres, err := workload.RunSyncWrites(rig.env, rig.drv.Dev(0), workload.SyncWriteConfig{
+			Mode:             workload.Clustered,
+			WriteSize:        1024,
+			WritesPerProcess: writes,
+			Seed:             seed,
+		})
+		if err != nil {
+			rig.env.Close()
+			return nil, fmt.Errorf("threshold %.2f: %w", th, err)
+		}
+		s := rig.drv.Stats()
+		rig.env.Close()
+		res.Rows = append(res.Rows, ThresholdRow{
+			Threshold:    th,
+			MeanLatency:  wres.Latency.Mean(),
+			Repositions:  s.Repositions,
+			AvgTrackUtil: s.AvgTrackUtilization(),
+		})
+	}
+	return res, nil
+}
+
+// String renders the sweep.
+func (r *ThresholdResult) String() string {
+	var b strings.Builder
+	b.WriteString("Ablation: track utilization threshold (clustered 1KB writes)\n")
+	fmt.Fprintf(&b, "%10s %12s %13s %12s\n", "threshold", "mean ms", "repositions", "track util")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%9.0f%% %12s %13d %11.1f%%\n",
+			100*row.Threshold, fmtMS(row.MeanLatency), row.Repositions, 100*row.AvgTrackUtil)
+	}
+	return b.String()
+}
+
+// ReadPriorityRow compares read latency with and without the §4.3 priority.
+type ReadPriorityRow struct {
+	Policy       sched.Policy
+	MeanReadTime time.Duration
+}
+
+// ReadPriorityResult is the §4.3 ablation.
+type ReadPriorityResult struct {
+	Rows []ReadPriorityRow
+}
+
+// ReadPriorityAblation measures data-disk read latency while Trail's
+// write-back stream competes for the spindle, with reads prioritized
+// (paper) versus a plain elevator.
+func ReadPriorityAblation(reads int, seed uint64) (*ReadPriorityResult, error) {
+	if reads == 0 {
+		reads = 100
+	}
+	res := &ReadPriorityResult{}
+	for _, policy := range []sched.Policy{sched.ReadPriorityLOOK, sched.LOOK} {
+		cfg := DefaultTrailConfig()
+		cfg.DataPolicy = policy
+		rig, err := newTrailRig(1, cfg)
+		if err != nil {
+			return nil, err
+		}
+		dev := rig.drv.Dev(0)
+		rng := sim.NewRand(seed)
+		lat := metrics.NewSummary()
+
+		// Writer: a continuous stream of staged writes keeps the
+		// write-back path busy on the data disk.
+		writing := true
+		rig.env.Go("writer", func(p *sim.Proc) {
+			for writing {
+				lba := rng.Int64n(dev.Sectors()/8) * 8
+				if err := dev.Write(p, lba, 8, make([]byte, 8*geom.SectorSize)); err != nil {
+					panic(err)
+				}
+				p.Sleep(2 * time.Millisecond)
+			}
+		})
+		// Reader: cold reads that must reach the data disk.
+		rig.env.Go("reader", func(p *sim.Proc) {
+			p.Sleep(50 * time.Millisecond) // let the write-back queue build
+			for i := 0; i < reads; i++ {
+				lba := (rng.Int64n(dev.Sectors()/16) + dev.Sectors()/16) &^ 7
+				start := p.Now()
+				if _, err := dev.Read(p, lba, 8); err != nil {
+					panic(err)
+				}
+				lat.Add(p.Now().Sub(start))
+				p.Sleep(3 * time.Millisecond)
+			}
+			writing = false
+		})
+		deadline := sim.Time(60 * time.Second)
+		for rig.env.Now() < deadline && lat.Count() < int64(reads) {
+			rig.env.RunUntil(rig.env.Now().Add(100 * time.Millisecond))
+		}
+		rig.env.Close()
+		if lat.Count() < int64(reads) {
+			return nil, fmt.Errorf("read-priority ablation: only %d of %d reads completed", lat.Count(), reads)
+		}
+		res.Rows = append(res.Rows, ReadPriorityRow{Policy: policy, MeanReadTime: lat.Mean()})
+	}
+	return res, nil
+}
+
+// String renders the ablation.
+func (r *ReadPriorityResult) String() string {
+	var b strings.Builder
+	b.WriteString("Ablation: data disk read priority under write-back load\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%22s: mean read %s ms\n", row.Policy, fmtMS(row.MeanReadTime))
+	}
+	return b.String()
+}
+
+// MultiLogRow is one point of the §5.1 multi-log-disk extension.
+type MultiLogRow struct {
+	LogDisks    int
+	MeanLatency time.Duration
+	Elapsed     time.Duration
+}
+
+// MultiLogResult measures the paper's "final optimization".
+type MultiLogResult struct {
+	Rows []MultiLogRow
+}
+
+// MultiLogAblation measures clustered synchronous write performance as log
+// disks are added: with two or more, repositioning on one disk is hidden
+// behind writes to another ("it is possible to employ multiple log disks to
+// completely hide the disk re-positioning overhead", §5.1).
+func MultiLogAblation(counts []int, writes int, seed uint64) (*MultiLogResult, error) {
+	if len(counts) == 0 {
+		counts = []int{1, 2, 3}
+	}
+	if writes == 0 {
+		writes = 200
+	}
+	res := &MultiLogResult{}
+	for _, n := range counts {
+		env := sim.NewEnv()
+		var logs []*disk.Disk
+		for i := 0; i < n; i++ {
+			lg := disk.New(env, disk.ST41601N())
+			if err := trail.Format(lg); err != nil {
+				env.Close()
+				return nil, err
+			}
+			logs = append(logs, lg)
+		}
+		data := disk.New(env, disk.WDCaviar())
+		cfg := DefaultTrailConfig()
+		// Aggressive threshold maximizes repositioning, the overhead under
+		// study.
+		cfg.UtilizationThreshold = 0.05
+		drv, err := trail.NewDriverMulti(env, logs, []*disk.Disk{data}, cfg)
+		if err != nil {
+			env.Close()
+			return nil, err
+		}
+		wres, err := workload.RunSyncWrites(env, drv.Dev(0), workload.SyncWriteConfig{
+			Mode:             workload.Clustered,
+			WriteSize:        2048,
+			WritesPerProcess: writes,
+			Seed:             seed,
+		})
+		env.Close()
+		if err != nil {
+			return nil, fmt.Errorf("multi-log n=%d: %w", n, err)
+		}
+		res.Rows = append(res.Rows, MultiLogRow{
+			LogDisks:    n,
+			MeanLatency: wres.Latency.Mean(),
+			Elapsed:     wres.Elapsed,
+		})
+	}
+	return res, nil
+}
+
+// String renders the ablation.
+func (r *MultiLogResult) String() string {
+	var b strings.Builder
+	b.WriteString("Extension: multiple log disks (section 5.1 final optimization)\n")
+	fmt.Fprintf(&b, "%10s %12s %14s\n", "log disks", "mean ms", "elapsed ms")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%10d %12s %14s\n", row.LogDisks, fmtMS(row.MeanLatency), fmtMS(row.Elapsed))
+	}
+	return b.String()
+}
+
+// RecoveryAblationResult compares recovery with each §3.3 optimization
+// disabled.
+type RecoveryAblationResult struct {
+	// Baseline has both optimizations on.
+	Baseline *trail.RecoverReport
+	// NoBinarySearch scans every track to locate the youngest record.
+	NoBinarySearch *trail.RecoverReport
+	// NoLogHead walks the full record chain to the epoch start.
+	NoLogHead *trail.RecoverReport
+}
+
+// RecoveryOptimizationsAblation builds identical crash states and recovers
+// each with one of the paper's two recovery optimizations disabled.
+func RecoveryOptimizationsAblation(q int, seed uint64) (*RecoveryAblationResult, error) {
+	if q == 0 {
+		q = 64
+	}
+	run := func(opts trail.RecoverOptions) (*trail.RecoverReport, error) {
+		opts.SkipWriteBack = true // isolate locate+rebuild
+		return crashWithBacklog(q, seed, opts)
+	}
+	base, err := run(trail.RecoverOptions{})
+	if err != nil {
+		return nil, err
+	}
+	noBin, err := run(trail.RecoverOptions{SequentialScan: true})
+	if err != nil {
+		return nil, err
+	}
+	noHead, err := run(trail.RecoverOptions{IgnoreLogHead: true})
+	if err != nil {
+		return nil, err
+	}
+	return &RecoveryAblationResult{Baseline: base, NoBinarySearch: noBin, NoLogHead: noHead}, nil
+}
+
+// String renders the ablation.
+func (r *RecoveryAblationResult) String() string {
+	var b strings.Builder
+	b.WriteString("Ablation: recovery optimizations (write-back skipped)\n")
+	row := func(name string, rep *trail.RecoverReport) {
+		fmt.Fprintf(&b, "%-22s locate %10s ms (%6d tracks)  rebuild %8s ms  records %d\n",
+			name, fmtMS(rep.LocateTime), rep.TracksScanned, fmtMS(rep.RebuildTime), rep.RecordsFound)
+	}
+	row("both optimizations", r.Baseline)
+	row("sequential scan", r.NoBinarySearch)
+	row("unbounded walk", r.NoLogHead)
+	return b.String()
+}
+
+var _ = blockdev.DevID{}
+var _ = stddisk.New

@@ -1,0 +1,61 @@
+package experiments
+
+import "testing"
+
+func TestFSMetadataTrailWins(t *testing.T) {
+	res, err := FSMetadata(20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	std, tr := res.Rows[0], res.Rows[1]
+	if std.System != "standard" || tr.System != "trail" {
+		t.Fatalf("row order: %+v", res.Rows)
+	}
+	// Identical I/O counts (same file system logic), very different cost.
+	if std.DataWrites != tr.DataWrites || std.MetaWrites != tr.MetaWrites {
+		t.Errorf("write counts differ: std %+v vs trail %+v", std, tr)
+	}
+	if tr.MeanAppend*2 > std.MeanAppend {
+		t.Errorf("O_SYNC append: trail %v vs standard %v, want >= 2x win", tr.MeanAppend, std.MeanAppend)
+	}
+	// Metadata writes exist at all — the point of the comparison.
+	if std.MetaWrites == 0 {
+		t.Error("no metadata writes recorded")
+	}
+}
+
+func TestRAID5SmallWritesTrailWins(t *testing.T) {
+	res, err := RAID5SmallWrites(30, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	std, tr := res.Rows[0], res.Rows[1]
+	// Same logical I/O pattern.
+	if std.SmallWrites != tr.SmallWrites {
+		t.Errorf("small write counts differ: %d vs %d", std.SmallWrites, tr.SmallWrites)
+	}
+	// Each small write = 2 reads + 2 writes at the devices.
+	if std.DeviceReads != 2*std.SmallWrites || std.DeviceWrites != 2*std.SmallWrites {
+		t.Errorf("small-write I/O pattern wrong: %+v", std)
+	}
+	if tr.MeanWrite >= std.MeanWrite {
+		t.Errorf("RAID-5 small write: trail %v >= standard %v", tr.MeanWrite, std.MeanWrite)
+	}
+}
+
+func TestDirectLoggingBeatsIndirect(t *testing.T) {
+	res, err := DirectLogging(30, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, indirect := res.Rows[0], res.Rows[1]
+	if direct.MeanCommit >= indirect.MeanCommit {
+		t.Errorf("direct commit %v >= indirect %v", direct.MeanCommit, indirect.MeanCommit)
+	}
+	if direct.Flushes != indirect.Flushes {
+		t.Errorf("flush counts differ: %d vs %d", direct.Flushes, indirect.Flushes)
+	}
+}

@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"tracklog/internal/blockdev"
+	"tracklog/internal/geom"
+	"tracklog/internal/metrics"
+	"tracklog/internal/sched"
+	"tracklog/internal/sim"
+	"tracklog/internal/stddisk"
+	"tracklog/internal/trail"
+)
+
+// Fig4Row is one Q point of Figure 4: recovery cost with Q pending write
+// records on the log disk at crash time.
+type Fig4Row struct {
+	// Q is the requested backlog; RecordsFound is what recovery actually
+	// reconstructed (>= Q − a few that committed while building up).
+	Q            int
+	RecordsFound int
+	// Locate/Rebuild/WriteBack are the three recovery phases of Fig 4(a).
+	Locate, Rebuild, WriteBack time.Duration
+	// TotalSkip is the end-to-end time with the write-back phase bypassed
+	// (Fig 4(b)).
+	TotalSkip time.Duration
+	// TracksScanned counts locate-phase track scans (binary search).
+	TracksScanned int
+}
+
+// Total returns the full recovery time.
+func (r Fig4Row) Total() time.Duration { return r.Locate + r.Rebuild + r.WriteBack }
+
+// Fig4Result reproduces Figure 4.
+type Fig4Result struct {
+	Rows []Fig4Row
+}
+
+// Figure4 reproduces Figure 4: crash the Trail system with Q pending write
+// records, recover, and report the three-phase breakdown (a) plus the
+// write-back-skipped total (b), for each Q.
+func Figure4(qs []int, seed uint64) (*Fig4Result, error) {
+	if len(qs) == 0 {
+		qs = []int{32, 64, 128, 256}
+	}
+	res := &Fig4Result{}
+	for _, q := range qs {
+		// Two identical crash states: recovery consumes one (it marks the
+		// disk clean), so the skip-write-back variant needs its own.
+		full, err := crashWithBacklog(q, seed, trail.RecoverOptions{})
+		if err != nil {
+			return nil, err
+		}
+		skip, err := crashWithBacklog(q, seed, trail.RecoverOptions{SkipWriteBack: true})
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Fig4Row{
+			Q:             q,
+			RecordsFound:  full.RecordsFound,
+			Locate:        full.LocateTime,
+			Rebuild:       full.RebuildTime,
+			WriteBack:     full.WriteBackTime,
+			TotalSkip:     skip.Total(),
+			TracksScanned: full.TracksScanned,
+		})
+	}
+	return res, nil
+}
+
+// crashWithBacklog builds a Trail system, runs writes until Q records are
+// outstanding, cuts power, reboots and recovers with opts.
+func crashWithBacklog(q int, seed uint64, opts trail.RecoverOptions) (*trail.RecoverReport, error) {
+	cfg := DefaultTrailConfig()
+	cfg.DisableBatching = true // one record per write: backlog == Q records
+	rig, err := newTrailRig(1, cfg)
+	if err != nil {
+		return nil, err
+	}
+	dev := rig.drv.Dev(0)
+	rng := sim.NewRand(seed + uint64(q))
+	stop := false
+	rig.env.Go("load", func(p *sim.Proc) {
+		for !stop {
+			lba := rng.Int64n(dev.Sectors()/8) * 8
+			if err := dev.Write(p, lba, 2, make([]byte, 2*geom.SectorSize)); err != nil {
+				panic(err)
+			}
+		}
+	})
+	// Advance until the backlog reaches Q, then cut power.
+	for rig.drv.OutstandingRecords() < q {
+		before := rig.env.Now()
+		rig.env.RunUntil(before.Add(2 * time.Millisecond))
+		if rig.env.Now() == before {
+			rig.env.Close()
+			return nil, fmt.Errorf("fig4: backlog stalled at %d of %d", rig.drv.OutstandingRecords(), q)
+		}
+	}
+	stop = true
+	rig.env.Close()
+
+	// Reboot: fresh environment, same media.
+	env := sim.NewEnv()
+	defer env.Close()
+	rig.log.Reattach(env)
+	devs := map[blockdev.DevID]blockdev.Device{}
+	for i, dd := range rig.data {
+		dd.Reattach(env)
+		id := blockdev.DevID{Major: 8, Minor: uint8(i)}
+		devs[id] = stddisk.New(env, dd, id, sched.LOOK)
+	}
+	var rep *trail.RecoverReport
+	var rerr error
+	env.Go("recover", func(p *sim.Proc) {
+		rep, rerr = trail.Recover(p, rig.log, devs, opts)
+	})
+	env.Run()
+	if rerr != nil {
+		return nil, fmt.Errorf("fig4 recover q=%d: %w", q, rerr)
+	}
+	return rep, nil
+}
+
+// String renders both panels.
+func (r *Fig4Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 4: recovery time breakdown (ms)\n")
+	fmt.Fprintf(&b, "%6s %8s %10s %10s %10s %10s %10s %8s %7s\n",
+		"Q", "records", "locate", "rebuild", "writeback", "total", "no-wb", "tracks", "ratio")
+	for _, row := range r.Rows {
+		ratio := 0.0
+		if row.TotalSkip > 0 {
+			ratio = float64(row.Total()) / float64(row.TotalSkip)
+		}
+		fmt.Fprintf(&b, "%6d %8d %10s %10s %10s %10s %10s %8d %6.1fx\n",
+			row.Q, row.RecordsFound, fmtMS(row.Locate), fmtMS(row.Rebuild), fmtMS(row.WriteBack),
+			fmtMS(row.Total()), fmtMS(row.TotalSkip), row.TracksScanned, ratio)
+	}
+	b.WriteString("(paper: locate ~450 ms binary search; write-back makes recovery ~3.5x slower at Q=256)\n")
+	return b.String()
+}
+
+// Plot renders the recovery breakdown as an ASCII chart.
+func (r *Fig4Result) Plot() string {
+	mk := func(name string, pick func(Fig4Row) time.Duration) metrics.Series {
+		s := metrics.Series{Name: name}
+		for _, row := range r.Rows {
+			s.Points = append(s.Points, [2]float64{float64(row.Q), pick(row).Seconds() * 1000})
+		}
+		return s
+	}
+	return metrics.AsciiPlot(
+		"Figure 4: recovery time vs pending records",
+		"Q (pending records)", "ms",
+		[]metrics.Series{
+			mk("total", Fig4Row.Total),
+			mk("write-back", func(r Fig4Row) time.Duration { return r.WriteBack }),
+			mk("locate", func(r Fig4Row) time.Duration { return r.Locate }),
+			mk("no write-back", func(r Fig4Row) time.Duration { return r.TotalSkip }),
+		}, 64, 16)
+}

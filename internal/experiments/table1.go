@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"tracklog/internal/geom"
+	"tracklog/internal/sim"
+	"tracklog/internal/trail"
+)
+
+// Table1Row is one batch-size point of Table 1: total elapsed time to
+// service a fixed sequence of one-sector synchronous writes.
+type Table1Row struct {
+	BatchSize int
+	Elapsed   time.Duration
+	Records   int64 // physical log writes actually issued
+}
+
+// Table1Result reproduces Table 1.
+type Table1Result struct {
+	Writes int
+	Rows   []Table1Row
+}
+
+// Table1 reproduces Table 1: the total elapsed time for servicing a
+// sequence of `writes` one-sector synchronous writes as the write batch
+// size varies (paper: 32 writes, batch sizes 1..32, a ~15x spread).
+//
+// All writes are queued at time zero; the driver's MaxBatchSectors caps how
+// many are aggregated per physical log write, exactly the knob the paper
+// sweeps.
+func Table1(writes int, batchSizes []int) (*Table1Result, error) {
+	if writes == 0 {
+		writes = 32
+	}
+	if len(batchSizes) == 0 {
+		batchSizes = []int{1, 2, 4, 8, 16, 32}
+	}
+	res := &Table1Result{Writes: writes}
+	for _, bs := range batchSizes {
+		cfg := DefaultTrailConfig()
+		cfg.MaxBatchSectors = bs
+		if bs == 1 {
+			cfg.DisableBatching = true
+		}
+		rig, err := newTrailRig(1, cfg)
+		if err != nil {
+			return nil, err
+		}
+		dev := rig.drv.Dev(0)
+		// Warm the driver (establish the prediction reference point) so the
+		// measurement starts from steady state, as the paper's does.
+		rig.env.Go("warmup", func(p *sim.Proc) {
+			if err := dev.Write(p, 1<<20, 1, make([]byte, geom.SectorSize)); err != nil {
+				panic(err)
+			}
+		})
+		rig.env.Run()
+		warmRecords := rig.drv.Stats().Records
+		var first, last sim.Time
+		done := 0
+		for i := 0; i < writes; i++ {
+			lba := int64(i * 64)
+			rig.env.Go(fmt.Sprintf("w%d", i), func(p *sim.Proc) {
+				if first == 0 {
+					first = p.Now()
+				}
+				if err := dev.Write(p, lba, 1, make([]byte, geom.SectorSize)); err != nil {
+					panic(err)
+				}
+				done++
+				if p.Now() > last {
+					last = p.Now()
+				}
+			})
+		}
+		rig.env.Run()
+		if done != writes {
+			rig.env.Close()
+			return nil, fmt.Errorf("table1 batch %d: %d of %d writes completed", bs, done, writes)
+		}
+		res.Rows = append(res.Rows, Table1Row{
+			BatchSize: bs,
+			Elapsed:   last.Sub(first),
+			Records:   rig.drv.Stats().Records - warmRecords,
+		})
+		rig.env.Close()
+	}
+	return res, nil
+}
+
+// String renders the table.
+func (r *Table1Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: elapsed time for %d one-sector writes vs batch size\n", r.Writes)
+	fmt.Fprintf(&b, "%10s %14s %9s\n", "batch", "elapsed ms", "records")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%10d %14s %9d\n", row.BatchSize, fmtMS(row.Elapsed), row.Records)
+	}
+	if len(r.Rows) > 1 {
+		ratio := float64(r.Rows[0].Elapsed) / float64(r.Rows[len(r.Rows)-1].Elapsed)
+		fmt.Fprintf(&b, "spread (batch %d vs %d): %.1fx (paper: ~15x)\n",
+			r.Rows[0].BatchSize, r.Rows[len(r.Rows)-1].BatchSize, ratio)
+	}
+	return b.String()
+}
+
+var _ = trail.MaxBatch // document the cap the sweep tops out at

@@ -1,0 +1,221 @@
+package geom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func testGeom() Geometry {
+	return Geometry{
+		Cylinders: 100,
+		Heads:     4,
+		Zones: []Zone{
+			{StartCyl: 0, EndCyl: 49, SPT: 60},
+			{StartCyl: 50, EndCyl: 99, SPT: 40},
+		},
+		TrackSkew: 5,
+		CylSkew:   8,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	g := testGeom()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("valid geometry rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Geometry)
+	}{
+		{"no zones", func(g *Geometry) { g.Zones = nil }},
+		{"gap between zones", func(g *Geometry) { g.Zones[1].StartCyl = 51 }},
+		{"zones short of cylinders", func(g *Geometry) { g.Zones[1].EndCyl = 98 }},
+		{"zero SPT", func(g *Geometry) { g.Zones[0].SPT = 0 }},
+		{"zero heads", func(g *Geometry) { g.Heads = 0 }},
+		{"negative skew", func(g *Geometry) { g.TrackSkew = -1 }},
+		{"inverted zone", func(g *Geometry) { g.Zones[0].EndCyl = -1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bad := testGeom()
+			tc.mut(&bad)
+			if err := bad.Validate(); err == nil {
+				t.Error("invalid geometry accepted")
+			}
+		})
+	}
+}
+
+func TestTotalSectors(t *testing.T) {
+	g := testGeom()
+	want := int64(50*4*60 + 50*4*40)
+	if got := g.TotalSectors(); got != want {
+		t.Errorf("TotalSectors = %d, want %d", got, want)
+	}
+	if got := g.Capacity(); got != want*SectorSize {
+		t.Errorf("Capacity = %d, want %d", got, want*SectorSize)
+	}
+	if got := g.TotalTracks(); got != 400 {
+		t.Errorf("TotalTracks = %d, want 400", got)
+	}
+}
+
+func TestLBARoundTrip(t *testing.T) {
+	g := testGeom()
+	f := func(raw uint32) bool {
+		lba := int64(raw) % g.TotalSectors()
+		a := g.ToCHS(lba)
+		return g.ToLBA(a) == lba
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCHSRoundTrip(t *testing.T) {
+	g := testGeom()
+	for cyl := 0; cyl < g.Cylinders; cyl += 7 {
+		for head := 0; head < g.Heads; head++ {
+			for _, sector := range []int{0, 1, g.SPTAt(cyl) - 1} {
+				a := CHS{Cyl: cyl, Head: head, Sector: sector}
+				got := g.ToCHS(g.ToLBA(a))
+				if got != a {
+					t.Fatalf("round trip %v -> %v", a, got)
+				}
+			}
+		}
+	}
+}
+
+func TestLBAMonotonicAcrossZoneBoundary(t *testing.T) {
+	g := testGeom()
+	// Last LBA of zone 0 and first of zone 1 must be consecutive.
+	last0 := g.ToLBA(CHS{Cyl: 49, Head: 3, Sector: 59})
+	first1 := g.ToLBA(CHS{Cyl: 50, Head: 0, Sector: 0})
+	if first1 != last0+1 {
+		t.Errorf("zone boundary LBAs %d then %d, want consecutive", last0, first1)
+	}
+}
+
+func TestSPTAt(t *testing.T) {
+	g := testGeom()
+	if g.SPTAt(0) != 60 || g.SPTAt(49) != 60 || g.SPTAt(50) != 40 || g.SPTAt(99) != 40 {
+		t.Error("SPTAt returned wrong zone SPT")
+	}
+}
+
+func TestTrackIndexRoundTrip(t *testing.T) {
+	g := testGeom()
+	for track := 0; track < g.TotalTracks(); track += 13 {
+		cyl, head := g.TrackOf(track)
+		if g.TrackIndex(cyl, head) != track {
+			t.Fatalf("track %d -> (%d,%d) -> %d", track, cyl, head, g.TrackIndex(cyl, head))
+		}
+	}
+	if g.NextTrack(g.TotalTracks()-1) != 0 {
+		t.Error("NextTrack does not wrap")
+	}
+}
+
+func TestTrackStartLBA(t *testing.T) {
+	g := testGeom()
+	if got := g.TrackStartLBA(0, 0); got != 0 {
+		t.Errorf("first track starts at %d", got)
+	}
+	if got := g.TrackStartLBA(0, 1); got != 60 {
+		t.Errorf("track (0,1) starts at %d, want 60", got)
+	}
+	if got := g.TrackStartLBA(50, 0); got != int64(50*4*60) {
+		t.Errorf("track (50,0) starts at %d, want %d", got, 50*4*60)
+	}
+}
+
+func TestSectorAngleRange(t *testing.T) {
+	g := testGeom()
+	f := func(raw uint32) bool {
+		lba := int64(raw) % g.TotalSectors()
+		ang := g.SectorAngle(g.ToCHS(lba))
+		return ang >= 0 && ang < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSectorAngleSkewShiftsOrigin(t *testing.T) {
+	g := testGeom()
+	// With track skew 5 and SPT 60, sector 0 of head 1 sits 5 slots after
+	// the angular origin.
+	a0 := g.SectorAngle(CHS{Cyl: 0, Head: 0, Sector: 0})
+	a1 := g.SectorAngle(CHS{Cyl: 0, Head: 1, Sector: 0})
+	if a0 != 0 {
+		t.Errorf("sector 0 head 0 at angle %v, want 0", a0)
+	}
+	if want := 5.0 / 60.0; a1 != want {
+		t.Errorf("sector 0 head 1 at angle %v, want %v", a1, want)
+	}
+}
+
+func TestClosestSectorOnTrack(t *testing.T) {
+	g := Uniform(10, 2, 60)
+	// No skew: at angle just past sector 9's start, the next sector is 10.
+	s := g.ClosestSectorOnTrack(0, 0, 9.0/60.0, 0)
+	if s != 10 {
+		t.Errorf("closest sector = %d, want 10", s)
+	}
+	// Margin shifts the landing point.
+	s = g.ClosestSectorOnTrack(0, 0, 9.0/60.0, 3)
+	if s != 13 {
+		t.Errorf("closest sector with margin = %d, want 13", s)
+	}
+	// Wraps past the end of the track.
+	s = g.ClosestSectorOnTrack(0, 0, 59.5/60.0, 0)
+	if s != 0 {
+		t.Errorf("closest sector near wrap = %d, want 0", s)
+	}
+}
+
+func TestClosestSectorIsAfterAngle(t *testing.T) {
+	g := testGeom()
+	f := func(rawCyl uint8, rawHead uint8, rawAngle uint16) bool {
+		cyl := int(rawCyl) % g.Cylinders
+		head := int(rawHead) % g.Heads
+		angle := float64(rawAngle) / 65536.0
+		s := g.ClosestSectorOnTrack(cyl, head, angle, 0)
+		spt := g.SPTAt(cyl)
+		if s < 0 || s >= spt {
+			return false
+		}
+		// The chosen sector's start must lie within one sector slot after
+		// the probe angle (modulo a revolution).
+		sa := g.SectorAngle(CHS{Cyl: cyl, Head: head, Sector: s})
+		gap := sa - angle
+		if gap < 0 {
+			gap++
+		}
+		return gap <= 1.0/float64(spt)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUniform(t *testing.T) {
+	g := Uniform(100, 4, 50)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Uniform geometry invalid: %v", err)
+	}
+	if g.TotalSectors() != 100*4*50 {
+		t.Error("Uniform sector count wrong")
+	}
+}
+
+func TestToCHSPanicsOutOfRange(t *testing.T) {
+	g := testGeom()
+	defer func() {
+		if recover() == nil {
+			t.Error("ToCHS accepted out-of-range LBA")
+		}
+	}()
+	g.ToCHS(g.TotalSectors())
+}

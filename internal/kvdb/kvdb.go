@@ -1,0 +1,615 @@
+// Package kvdb implements a page-based B+tree storage engine over a block
+// device, standing in for the Berkeley DB access methods of the paper's
+// §5.2 experiments.
+//
+// Pages are cached by an internal bufcache.Cache, so every page miss and
+// dirty-page eviction pays real (simulated) disk I/O. Values carry a
+// *logical size* used for page-fill accounting: TPC-C rows are stored
+// compactly in memory but occupy their spec-defined widths on pages, so the
+// tree's page count, fanout and I/O pattern match a production layout
+// without materializing half a gigabyte of filler bytes.
+package kvdb
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"tracklog/internal/blockdev"
+	"tracklog/internal/bufcache"
+	"tracklog/internal/sim"
+)
+
+// Errors.
+var (
+	// ErrNotFound means the key is absent.
+	ErrNotFound = errors.New("kvdb: key not found")
+	// ErrTooLarge means a key/value pair cannot fit any page.
+	ErrTooLarge = errors.New("kvdb: entry exceeds page capacity")
+)
+
+const (
+	leafType     = 1
+	internalType = 2
+
+	// nodeHeader: type(1) + nkeys(2) + next/child0(8).
+	nodeHeader = 11
+	// leafEntryOverhead: klen(2) + vlen(2) + logical(2).
+	leafEntryOverhead = 6
+	// internalEntryOverhead: klen(2) + child(8).
+	internalEntryOverhead = 10
+
+	// capacity is the logical byte budget of a node's entry area.
+	capacity = bufcache.PageSize - nodeHeader
+
+	// maxEntry bounds a single entry so two always fit a page.
+	maxEntry = capacity / 2
+)
+
+// metaPage is page 0 of a store: nextPage(8) + ntrees(2) + roots(8 each).
+const maxTrees = 64
+
+// Store owns a device, its page cache, and page allocation; trees live
+// inside a store.
+type Store struct {
+	dev      blockdev.Device
+	cache    *bufcache.Cache
+	nextPage int64
+	roots    []int64
+}
+
+// Open opens (or initializes) a store on dev with a cache of cachePages
+// pages. A device whose page 0 is all zeroes is treated as empty and
+// initialized.
+func Open(p *sim.Proc, dev blockdev.Device, cachePages int) (*Store, error) {
+	s := &Store{dev: dev, cache: bufcache.New(dev, cachePages)}
+	pg, err := s.cache.Get(p, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer s.cache.Release(pg)
+	s.nextPage = int64(binary.LittleEndian.Uint64(pg.Data))
+	if s.nextPage == 0 {
+		// Fresh device.
+		s.nextPage = 1
+		s.writeMeta(pg)
+		return s, nil
+	}
+	n := int(binary.LittleEndian.Uint16(pg.Data[8:]))
+	if n > maxTrees {
+		return nil, fmt.Errorf("kvdb: corrupt meta page: %d trees", n)
+	}
+	for i := 0; i < n; i++ {
+		s.roots = append(s.roots, int64(binary.LittleEndian.Uint64(pg.Data[10+8*i:])))
+	}
+	return s, nil
+}
+
+// writeMeta serializes the allocator and catalog into the pinned meta page.
+func (s *Store) writeMeta(pg *bufcache.Page) {
+	binary.LittleEndian.PutUint64(pg.Data, uint64(s.nextPage))
+	binary.LittleEndian.PutUint16(pg.Data[8:], uint16(len(s.roots)))
+	for i, r := range s.roots {
+		binary.LittleEndian.PutUint64(pg.Data[10+8*i:], uint64(r))
+	}
+	s.cache.MarkDirty(pg)
+}
+
+// syncMeta loads, updates and releases the meta page.
+func (s *Store) syncMeta(p *sim.Proc) error {
+	pg, err := s.cache.Get(p, 0)
+	if err != nil {
+		return err
+	}
+	s.writeMeta(pg)
+	s.cache.Release(pg)
+	return nil
+}
+
+// alloc reserves a fresh page ID.
+func (s *Store) alloc(p *sim.Proc) (int64, error) {
+	id := s.nextPage
+	s.nextPage++
+	return id, s.syncMeta(p)
+}
+
+// Cache exposes the page cache for stats and checkpointing.
+func (s *Store) Cache() *bufcache.Cache { return s.cache }
+
+// Device returns the underlying block device (for reopening in tests and
+// tools).
+func (s *Store) Device() blockdev.Device { return s.dev }
+
+// NumTrees returns the number of trees in the store.
+func (s *Store) NumTrees() int { return len(s.roots) }
+
+// CreateTree adds a new empty tree and returns it.
+func (s *Store) CreateTree(p *sim.Proc) (*Tree, error) {
+	if len(s.roots) >= maxTrees {
+		return nil, fmt.Errorf("kvdb: store full (%d trees)", maxTrees)
+	}
+	rootID, err := s.alloc(p)
+	if err != nil {
+		return nil, err
+	}
+	pg, err := s.cache.GetZero(p, rootID)
+	if err != nil {
+		return nil, err
+	}
+	encodeNode(&node{leaf: true}, pg.Data)
+	s.cache.MarkDirty(pg)
+	s.cache.Release(pg)
+	s.roots = append(s.roots, rootID)
+	if err := s.syncMeta(p); err != nil {
+		return nil, err
+	}
+	return &Tree{store: s, idx: len(s.roots) - 1}, nil
+}
+
+// Tree returns tree number idx (in creation order).
+func (s *Store) Tree(idx int) (*Tree, error) {
+	if idx < 0 || idx >= len(s.roots) {
+		return nil, fmt.Errorf("kvdb: no tree %d", idx)
+	}
+	return &Tree{store: s, idx: idx}, nil
+}
+
+// Tree is a B+tree of byte-string keys and values.
+type Tree struct {
+	store *Store
+	idx   int
+}
+
+// node is the decoded form of a page.
+type node struct {
+	leaf     bool
+	keys     [][]byte
+	vals     [][]byte // leaf only
+	logical  []int    // leaf only: page-fill size of each value
+	next     int64    // leaf only: right sibling page
+	children []int64  // internal only: len(keys)+1 entries
+}
+
+// fill returns the node's logical entry-area usage.
+func (n *node) fill() int {
+	total := 0
+	if n.leaf {
+		for i, k := range n.keys {
+			total += len(k) + n.logical[i] + leafEntryOverhead
+		}
+	} else {
+		for _, k := range n.keys {
+			total += len(k) + internalEntryOverhead
+		}
+	}
+	return total
+}
+
+func decodeNode(data []byte) (*node, error) {
+	n := &node{}
+	switch data[0] {
+	case leafType:
+		n.leaf = true
+	case internalType:
+	default:
+		return nil, fmt.Errorf("kvdb: bad node type %d", data[0])
+	}
+	nkeys := int(binary.LittleEndian.Uint16(data[1:]))
+	off := 3
+	if n.leaf {
+		n.next = int64(binary.LittleEndian.Uint64(data[off:]))
+		off += 8
+		for i := 0; i < nkeys; i++ {
+			klen := int(binary.LittleEndian.Uint16(data[off:]))
+			vlen := int(binary.LittleEndian.Uint16(data[off+2:]))
+			logical := int(binary.LittleEndian.Uint16(data[off+4:]))
+			off += 6
+			k := make([]byte, klen)
+			copy(k, data[off:])
+			off += klen
+			v := make([]byte, vlen)
+			copy(v, data[off:])
+			off += vlen
+			n.keys = append(n.keys, k)
+			n.vals = append(n.vals, v)
+			n.logical = append(n.logical, logical)
+		}
+		return n, nil
+	}
+	n.children = append(n.children, int64(binary.LittleEndian.Uint64(data[off:])))
+	off += 8
+	for i := 0; i < nkeys; i++ {
+		klen := int(binary.LittleEndian.Uint16(data[off:]))
+		off += 2
+		k := make([]byte, klen)
+		copy(k, data[off:])
+		off += klen
+		child := int64(binary.LittleEndian.Uint64(data[off:]))
+		off += 8
+		n.keys = append(n.keys, k)
+		n.children = append(n.children, child)
+	}
+	return n, nil
+}
+
+func encodeNode(n *node, data []byte) {
+	for i := range data {
+		data[i] = 0
+	}
+	if n.leaf {
+		data[0] = leafType
+	} else {
+		data[0] = internalType
+	}
+	binary.LittleEndian.PutUint16(data[1:], uint16(len(n.keys)))
+	off := 3
+	if n.leaf {
+		binary.LittleEndian.PutUint64(data[off:], uint64(n.next))
+		off += 8
+		for i, k := range n.keys {
+			binary.LittleEndian.PutUint16(data[off:], uint16(len(k)))
+			binary.LittleEndian.PutUint16(data[off+2:], uint16(len(n.vals[i])))
+			binary.LittleEndian.PutUint16(data[off+4:], uint16(n.logical[i]))
+			off += 6
+			off += copy(data[off:], k)
+			off += copy(data[off:], n.vals[i])
+		}
+		return
+	}
+	binary.LittleEndian.PutUint64(data[off:], uint64(n.children[0]))
+	off += 8
+	for i, k := range n.keys {
+		binary.LittleEndian.PutUint16(data[off:], uint16(len(k)))
+		off += 2
+		off += copy(data[off:], k)
+		binary.LittleEndian.PutUint64(data[off:], uint64(n.children[i+1]))
+		off += 8
+	}
+}
+
+// loadNode reads and decodes a page (pin released before return).
+func (t *Tree) loadNode(p *sim.Proc, id int64) (*node, error) {
+	pg, err := t.store.cache.Get(p, id)
+	if err != nil {
+		return nil, err
+	}
+	defer t.store.cache.Release(pg)
+	return decodeNode(pg.Data)
+}
+
+// storeNode encodes a node back to its page.
+func (t *Tree) storeNode(p *sim.Proc, id int64, n *node) error {
+	pg, err := t.store.cache.Get(p, id)
+	if err != nil {
+		return err
+	}
+	encodeNode(n, pg.Data)
+	t.store.cache.MarkDirty(pg)
+	t.store.cache.Release(pg)
+	return nil
+}
+
+// storeNewNode allocates a page and writes the node to it.
+func (t *Tree) storeNewNode(p *sim.Proc, n *node) (int64, error) {
+	id, err := t.store.alloc(p)
+	if err != nil {
+		return 0, err
+	}
+	pg, err := t.store.cache.GetZero(p, id)
+	if err != nil {
+		return 0, err
+	}
+	encodeNode(n, pg.Data)
+	t.store.cache.MarkDirty(pg)
+	t.store.cache.Release(pg)
+	return id, nil
+}
+
+// root returns the tree's root page ID.
+func (t *Tree) root() int64 { return t.store.roots[t.idx] }
+
+// Get returns the value stored at key.
+func (t *Tree) Get(p *sim.Proc, key []byte) ([]byte, error) {
+	id := t.root()
+	for {
+		n, err := t.loadNode(p, id)
+		if err != nil {
+			return nil, err
+		}
+		if n.leaf {
+			i, ok := findKey(n.keys, key)
+			if !ok {
+				return nil, ErrNotFound
+			}
+			return n.vals[i], nil
+		}
+		id = n.children[childIndex(n.keys, key)]
+	}
+}
+
+// findKey returns the index of key in keys (exact match).
+func findKey(keys [][]byte, key []byte) (int, bool) {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch bytes.Compare(keys[mid], key) {
+		case 0:
+			return mid, true
+		case -1:
+			lo = mid + 1
+		default:
+			hi = mid
+		}
+	}
+	return lo, false
+}
+
+// childIndex returns which child of an internal node covers key.
+func childIndex(keys [][]byte, key []byte) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(keys[mid], key) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Put inserts or replaces key with value. logicalSize is the page-fill cost
+// of the value (pass len(value) for plain data; TPC-C rows pass their spec
+// widths).
+func (t *Tree) Put(p *sim.Proc, key, value []byte, logicalSize int) error {
+	if logicalSize < len(value) {
+		logicalSize = len(value)
+	}
+	if len(key)+logicalSize+leafEntryOverhead > maxEntry {
+		return fmt.Errorf("%w: key %d + logical %d", ErrTooLarge, len(key), logicalSize)
+	}
+	sep, right, err := t.insert(p, t.root(), key, value, logicalSize)
+	if err != nil {
+		return err
+	}
+	if right == 0 {
+		return nil
+	}
+	// Root split: grow the tree by one level.
+	oldRoot := t.root()
+	newRoot := &node{keys: [][]byte{sep}, children: []int64{oldRoot, right}}
+	id, err := t.storeNewNode(p, newRoot)
+	if err != nil {
+		return err
+	}
+	t.store.roots[t.idx] = id
+	return t.store.syncMeta(p)
+}
+
+// insert descends to the leaf, inserts, and propagates splits upward.
+// It returns (separator, rightPageID) when node id split.
+func (t *Tree) insert(p *sim.Proc, id int64, key, value []byte, logicalSize int) ([]byte, int64, error) {
+	n, err := t.loadNode(p, id)
+	if err != nil {
+		return nil, 0, err
+	}
+	if n.leaf {
+		i, ok := findKey(n.keys, key)
+		if ok {
+			n.vals[i] = value
+			n.logical[i] = logicalSize
+		} else {
+			n.keys = insertAt(n.keys, i, key)
+			n.vals = insertAt(n.vals, i, value)
+			n.logical = insertIntAt(n.logical, i, logicalSize)
+		}
+		return t.finishInsert(p, id, n)
+	}
+	ci := childIndex(n.keys, key)
+	sep, right, err := t.insert(p, n.children[ci], key, value, logicalSize)
+	if err != nil || right == 0 {
+		return nil, 0, err
+	}
+	n.keys = insertAt(n.keys, ci, sep)
+	n.children = insertInt64At(n.children, ci+1, right)
+	return t.finishInsert(p, id, n)
+}
+
+// finishInsert stores n (splitting first if it overflows).
+func (t *Tree) finishInsert(p *sim.Proc, id int64, n *node) ([]byte, int64, error) {
+	if n.fill() <= capacity {
+		return nil, 0, t.storeNode(p, id, n)
+	}
+	sep, right := split(n)
+	rightID, err := t.storeNewNode(p, right)
+	if err != nil {
+		return nil, 0, err
+	}
+	if n.leaf {
+		right.next = n.next
+		n.next = rightID
+		if err := t.storeNode(p, rightID, right); err != nil {
+			return nil, 0, err
+		}
+	}
+	if err := t.storeNode(p, id, n); err != nil {
+		return nil, 0, err
+	}
+	return sep, rightID, nil
+}
+
+// split moves the upper half (by logical fill) of n into a new right node
+// and returns the separator key.
+func split(n *node) ([]byte, *node) {
+	if n.leaf {
+		half := n.fill() / 2
+		cut, run := 0, 0
+		for i, k := range n.keys {
+			run += len(k) + n.logical[i] + leafEntryOverhead
+			if run > half {
+				cut = i + 1
+				break
+			}
+		}
+		if cut <= 0 || cut >= len(n.keys) {
+			cut = len(n.keys) / 2
+		}
+		right := &node{
+			leaf:    true,
+			keys:    append([][]byte{}, n.keys[cut:]...),
+			vals:    append([][]byte{}, n.vals[cut:]...),
+			logical: append([]int{}, n.logical[cut:]...),
+		}
+		n.keys = n.keys[:cut]
+		n.vals = n.vals[:cut]
+		n.logical = n.logical[:cut]
+		return right.keys[0], right
+	}
+	mid := len(n.keys) / 2
+	sep := n.keys[mid]
+	right := &node{
+		keys:     append([][]byte{}, n.keys[mid+1:]...),
+		children: append([]int64{}, n.children[mid+1:]...),
+	}
+	n.keys = n.keys[:mid]
+	n.children = n.children[:mid+1]
+	return sep, right
+}
+
+func insertAt(s [][]byte, i int, v []byte) [][]byte {
+	s = append(s, nil)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func insertIntAt(s []int, i, v int) []int {
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func insertInt64At(s []int64, i int, v int64) []int64 {
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+// Delete removes key. Nodes are not rebalanced (lazy deletion, standard for
+// the workloads here: TPC-C only deletes new-order rows).
+func (t *Tree) Delete(p *sim.Proc, key []byte) error {
+	id := t.root()
+	var path []int64
+	for {
+		path = append(path, id)
+		n, err := t.loadNode(p, id)
+		if err != nil {
+			return err
+		}
+		if n.leaf {
+			i, ok := findKey(n.keys, key)
+			if !ok {
+				return ErrNotFound
+			}
+			n.keys = append(n.keys[:i], n.keys[i+1:]...)
+			n.vals = append(n.vals[:i], n.vals[i+1:]...)
+			n.logical = append(n.logical[:i], n.logical[i+1:]...)
+			return t.storeNode(p, id, n)
+		}
+		id = n.children[childIndex(n.keys, key)]
+	}
+}
+
+// Scan calls fn for each key >= from in order until fn returns false.
+func (t *Tree) Scan(p *sim.Proc, from []byte, fn func(key, value []byte) bool) error {
+	id := t.root()
+	for {
+		n, err := t.loadNode(p, id)
+		if err != nil {
+			return err
+		}
+		if n.leaf {
+			start, _ := findKey(n.keys, from)
+			for {
+				for i := start; i < len(n.keys); i++ {
+					if !fn(n.keys[i], n.vals[i]) {
+						return nil
+					}
+				}
+				if n.next == 0 {
+					return nil
+				}
+				n, err = t.loadNode(p, n.next)
+				if err != nil {
+					return err
+				}
+				start = 0
+			}
+		}
+		id = n.children[childIndex(n.keys, from)]
+	}
+}
+
+// Check validates the tree's structural invariants, returning the first
+// violation: keys strictly sorted within nodes, all leaves at equal depth,
+// every key within its parent's separator bounds, and the leaf chain in
+// left-to-right order. Intended for tests.
+func (t *Tree) Check(p *sim.Proc) error {
+	var leafDepth = -1
+	var prevLeafKey []byte
+	var walk func(id int64, depth int, lo, hi []byte) error
+	walk = func(id int64, depth int, lo, hi []byte) error {
+		n, err := t.loadNode(p, id)
+		if err != nil {
+			return err
+		}
+		for i, k := range n.keys {
+			if i > 0 && bytes.Compare(n.keys[i-1], k) >= 0 {
+				return fmt.Errorf("kvdb: page %d keys out of order at %d", id, i)
+			}
+			if lo != nil && bytes.Compare(k, lo) < 0 {
+				return fmt.Errorf("kvdb: page %d key %q below separator %q", id, k, lo)
+			}
+			if hi != nil && bytes.Compare(k, hi) >= 0 {
+				return fmt.Errorf("kvdb: page %d key %q not below separator %q", id, k, hi)
+			}
+		}
+		if n.leaf {
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if depth != leafDepth {
+				return fmt.Errorf("kvdb: leaf page %d at depth %d, want %d", id, depth, leafDepth)
+			}
+			for _, k := range n.keys {
+				if prevLeafKey != nil && bytes.Compare(prevLeafKey, k) >= 0 {
+					return fmt.Errorf("kvdb: leaf chain out of order at %q", k)
+				}
+				prevLeafKey = append(prevLeafKey[:0], k...)
+			}
+			if n.fill() > capacity {
+				return fmt.Errorf("kvdb: leaf page %d overfull (%d)", id, n.fill())
+			}
+			return nil
+		}
+		if len(n.children) != len(n.keys)+1 {
+			return fmt.Errorf("kvdb: page %d has %d children for %d keys", id, len(n.children), len(n.keys))
+		}
+		for i, child := range n.children {
+			clo, chi := lo, hi
+			if i > 0 {
+				clo = n.keys[i-1]
+			}
+			if i < len(n.keys) {
+				chi = n.keys[i]
+			}
+			if err := walk(child, depth+1, clo, chi); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(t.root(), 0, nil, nil)
+}

@@ -1,0 +1,140 @@
+// Package metrics provides streaming latency statistics for the benchmark
+// harness: mean/min/max plus percentile estimates from a log-scaled
+// histogram, with no per-sample storage.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// bucketsPerDecade controls histogram resolution: ~5% relative error.
+const bucketsPerDecade = 48
+
+// minTracked is the smallest latency resolved exactly (1 microsecond).
+const minTracked = time.Microsecond
+
+// Summary accumulates duration samples.
+type Summary struct {
+	count    int64
+	sum      time.Duration
+	min, max time.Duration
+	buckets  map[int]int64
+}
+
+// NewSummary returns an empty summary.
+func NewSummary() *Summary {
+	return &Summary{buckets: make(map[int]int64)}
+}
+
+// Add records one sample.
+func (s *Summary) Add(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	if s.count == 0 || d < s.min {
+		s.min = d
+	}
+	if d > s.max {
+		s.max = d
+	}
+	s.count++
+	s.sum += d
+	s.buckets[bucketOf(d)]++
+}
+
+func bucketOf(d time.Duration) int {
+	if d < minTracked {
+		return 0
+	}
+	return 1 + int(math.Log10(float64(d)/float64(minTracked))*bucketsPerDecade)
+}
+
+// bucketUpper returns the upper bound of a bucket.
+func bucketUpper(b int) time.Duration {
+	if b == 0 {
+		return minTracked
+	}
+	return time.Duration(float64(minTracked) * math.Pow(10, float64(b)/bucketsPerDecade))
+}
+
+// Count returns the number of samples.
+func (s *Summary) Count() int64 { return s.count }
+
+// Sum returns the total of all samples.
+func (s *Summary) Sum() time.Duration { return s.sum }
+
+// Mean returns the average sample, or 0 with no samples.
+func (s *Summary) Mean() time.Duration {
+	if s.count == 0 {
+		return 0
+	}
+	return s.sum / time.Duration(s.count)
+}
+
+// Min and Max return the sample extremes (0 with no samples).
+func (s *Summary) Min() time.Duration { return s.min }
+
+// Max returns the largest sample.
+func (s *Summary) Max() time.Duration { return s.max }
+
+// Quantile returns an estimate of the q-quantile (0 < q <= 1), accurate to
+// the histogram bucket width (~5%).
+func (s *Summary) Quantile(q float64) time.Duration {
+	if s.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s.min
+	}
+	if q >= 1 {
+		return s.max
+	}
+	target := int64(q * float64(s.count))
+	// Buckets are sparse; walk them in index order.
+	maxB := bucketOf(s.max)
+	var cum int64
+	for b := 0; b <= maxB; b++ {
+		cum += s.buckets[b]
+		if cum > target {
+			u := bucketUpper(b)
+			if u > s.max {
+				u = s.max
+			}
+			if u < s.min {
+				u = s.min
+			}
+			return u
+		}
+	}
+	return s.max
+}
+
+// Merge folds other into s.
+func (s *Summary) Merge(other *Summary) {
+	if other.count == 0 {
+		return
+	}
+	if s.count == 0 || other.min < s.min {
+		s.min = other.min
+	}
+	if other.max > s.max {
+		s.max = other.max
+	}
+	s.count += other.count
+	s.sum += other.sum
+	for b, c := range other.buckets {
+		s.buckets[b] += c
+	}
+}
+
+// String formats the summary for experiment output.
+func (s *Summary) String() string {
+	if s.count == 0 {
+		return "no samples"
+	}
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v min=%v max=%v",
+		s.count, s.Mean().Round(time.Microsecond), s.Quantile(0.5).Round(time.Microsecond),
+		s.Quantile(0.95).Round(time.Microsecond), s.min.Round(time.Microsecond), s.max.Round(time.Microsecond))
+}

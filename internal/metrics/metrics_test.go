@@ -1,0 +1,118 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEmptySummary(t *testing.T) {
+	s := NewSummary()
+	if s.Count() != 0 || s.Mean() != 0 || s.Quantile(0.5) != 0 {
+		t.Error("empty summary not zero")
+	}
+	if s.String() != "no samples" {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestBasicStats(t *testing.T) {
+	s := NewSummary()
+	for _, d := range []time.Duration{time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond} {
+		s.Add(d)
+	}
+	if s.Count() != 3 {
+		t.Errorf("count = %d", s.Count())
+	}
+	if s.Mean() != 2*time.Millisecond {
+		t.Errorf("mean = %v", s.Mean())
+	}
+	if s.Min() != time.Millisecond || s.Max() != 3*time.Millisecond {
+		t.Errorf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	if s.Sum() != 6*time.Millisecond {
+		t.Errorf("sum = %v", s.Sum())
+	}
+}
+
+func TestQuantileAccuracy(t *testing.T) {
+	s := NewSummary()
+	for i := 1; i <= 1000; i++ {
+		s.Add(time.Duration(i) * time.Microsecond)
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		got := float64(s.Quantile(q))
+		want := q * 1000 * float64(time.Microsecond)
+		if got < want*0.85 || got > want*1.15 {
+			t.Errorf("Q(%v) = %v, want ~%v", q, time.Duration(got), time.Duration(want))
+		}
+	}
+}
+
+func TestQuantileBounds(t *testing.T) {
+	s := NewSummary()
+	s.Add(5 * time.Millisecond)
+	s.Add(7 * time.Millisecond)
+	f := func(raw uint16) bool {
+		q := float64(raw) / 65535.0
+		v := s.Quantile(q)
+		return v >= s.Min() && v <= s.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNegativeClamped(t *testing.T) {
+	s := NewSummary()
+	s.Add(-time.Second)
+	if s.Min() != 0 || s.Max() != 0 {
+		t.Error("negative sample not clamped to zero")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := NewSummary(), NewSummary()
+	a.Add(time.Millisecond)
+	b.Add(3 * time.Millisecond)
+	b.Add(5 * time.Millisecond)
+	a.Merge(b)
+	if a.Count() != 3 || a.Min() != time.Millisecond || a.Max() != 5*time.Millisecond {
+		t.Errorf("merged: %v", a)
+	}
+	if a.Mean() != 3*time.Millisecond {
+		t.Errorf("merged mean = %v", a.Mean())
+	}
+	// Merging an empty summary changes nothing.
+	before := a.Count()
+	a.Merge(NewSummary())
+	if a.Count() != before {
+		t.Error("empty merge changed count")
+	}
+}
+
+func TestSubMicrosecondSamples(t *testing.T) {
+	s := NewSummary()
+	s.Add(100 * time.Nanosecond)
+	s.Add(200 * time.Nanosecond)
+	if s.Quantile(0.5) > time.Microsecond {
+		t.Errorf("sub-microsecond quantile = %v", s.Quantile(0.5))
+	}
+}
+
+func TestAsciiPlot(t *testing.T) {
+	out := AsciiPlot("demo", "x", "y", []Series{
+		{Name: "a", Points: [][2]float64{{1, 1}, {2, 4}, {3, 9}}},
+		{Name: "b", Points: [][2]float64{{1, 2}, {2, 3}, {3, 5}}},
+	}, 40, 10)
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "* = a") || !strings.Contains(out, "o = b") {
+		t.Errorf("plot missing elements:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("no marks plotted")
+	}
+	// Degenerate inputs do not panic.
+	_ = AsciiPlot("empty", "x", "y", nil, 0, 0)
+	_ = AsciiPlot("single", "x", "y", []Series{{Name: "s", Points: [][2]float64{{5, 5}}}}, 40, 10)
+}

@@ -1,0 +1,264 @@
+// Package raid implements a block-interleaved distributed-parity disk array
+// (RAID-5) over block devices.
+//
+// The paper's closing section names "using track-based logging to solve the
+// small write problem in RAID-5 disk arrays" as ongoing work: a small RAID-5
+// write costs four disk I/Os (read old data, read old parity, write data,
+// write parity), two of them synchronous writes. Building the array over
+// Trail data devices turns both writes into fast log appends, which is the
+// effect the RAID5SmallWrites experiment measures.
+package raid
+
+import (
+	"errors"
+	"fmt"
+
+	"tracklog/internal/blockdev"
+	"tracklog/internal/geom"
+	"tracklog/internal/sim"
+)
+
+// Errors.
+var (
+	// ErrDegradedTwice means more than one device has failed; RAID-5
+	// cannot reconstruct.
+	ErrDegradedTwice = errors.New("raid: more than one failed device")
+	// ErrBadArray reports an unusable configuration.
+	ErrBadArray = errors.New("raid: bad array configuration")
+)
+
+// Array is a RAID-5 array. The logical address space excludes parity: with
+// N devices of C sectors each, capacity is (N-1)*C sectors.
+//
+// Layout (left-asymmetric): logical chunks are striped across the devices
+// in order, skipping the parity device of each stripe; the parity chunk
+// rotates right-to-left with the stripe number.
+type Array struct {
+	devs   []blockdev.Device
+	chunk  int // chunk size in sectors
+	failed int // index of the failed device, or -1
+	stats  Stats
+}
+
+// Stats counts array activity.
+type Stats struct {
+	Reads, Writes                  int64
+	SmallWrites, FullStripes       int64
+	DeviceReads, DeviceWrites      int64
+	DegradedReads, Reconstructions int64
+}
+
+// New builds an array over devs (>= 3, equal sizes) with the given chunk
+// size in sectors.
+func New(devs []blockdev.Device, chunkSectors int) (*Array, error) {
+	if len(devs) < 3 {
+		return nil, fmt.Errorf("%w: %d devices (minimum 3)", ErrBadArray, len(devs))
+	}
+	if chunkSectors <= 0 {
+		return nil, fmt.Errorf("%w: chunk %d", ErrBadArray, chunkSectors)
+	}
+	for _, d := range devs[1:] {
+		if d.Sectors() != devs[0].Sectors() {
+			return nil, fmt.Errorf("%w: mismatched device sizes", ErrBadArray)
+		}
+	}
+	return &Array{devs: devs, chunk: chunkSectors, failed: -1}, nil
+}
+
+// Sectors returns the logical capacity.
+func (a *Array) Sectors() int64 {
+	return a.devs[0].Sectors() / int64(a.chunk) * int64(a.chunk) * int64(len(a.devs)-1)
+}
+
+// Stats returns a copy of the counters.
+func (a *Array) Stats() Stats { return a.stats }
+
+// Fail marks one device as dead; reads reconstruct from the survivors.
+func (a *Array) Fail(dev int) error {
+	if a.failed >= 0 && a.failed != dev {
+		return ErrDegradedTwice
+	}
+	a.failed = dev
+	return nil
+}
+
+// chunkLoc maps a logical chunk index to (device, chunk-on-device, stripe).
+func (a *Array) chunkLoc(logical int64) (dev int, devChunk int64, stripe int64) {
+	n := int64(len(a.devs))
+	stripe = logical / (n - 1)
+	pos := logical % (n - 1) // position among the stripe's data chunks
+	parity := int(stripe % n)
+	dev = int(pos)
+	if dev >= parity {
+		dev++
+	}
+	return dev, stripe, stripe
+}
+
+// parityDev returns the parity device of a stripe.
+func (a *Array) parityDev(stripe int64) int { return int(stripe % int64(len(a.devs))) }
+
+// devRead reads a chunk-relative sector range from one device,
+// reconstructing from the other devices when it has failed.
+func (a *Array) devRead(p *sim.Proc, dev int, devChunk int64, off, count int) ([]byte, error) {
+	lba := devChunk*int64(a.chunk) + int64(off)
+	if dev != a.failed {
+		a.stats.DeviceReads++
+		return a.devs[dev].Read(p, lba, count)
+	}
+	// Degraded: XOR every surviving device's corresponding range.
+	a.stats.DegradedReads++
+	a.stats.Reconstructions++
+	out := make([]byte, count*geom.SectorSize)
+	for i, d := range a.devs {
+		if i == dev {
+			continue
+		}
+		a.stats.DeviceReads++
+		buf, err := d.Read(p, lba, count)
+		if err != nil {
+			return nil, err
+		}
+		xorInto(out, buf)
+	}
+	return out, nil
+}
+
+// devWrite writes a chunk-relative sector range to one device (dropped
+// silently if the device failed — parity carries the information).
+func (a *Array) devWrite(p *sim.Proc, dev int, devChunk int64, off int, data []byte) error {
+	if dev == a.failed {
+		return nil
+	}
+	a.stats.DeviceWrites++
+	lba := devChunk*int64(a.chunk) + int64(off)
+	return a.devs[dev].Write(p, lba, len(data)/geom.SectorSize, data)
+}
+
+func xorInto(dst, src []byte) {
+	for i := range dst {
+		dst[i] ^= src[i]
+	}
+}
+
+// Read returns count logical sectors at lba.
+func (a *Array) Read(p *sim.Proc, lba int64, count int) ([]byte, error) {
+	if err := blockdev.CheckRange(a.Sectors(), lba, count); err != nil {
+		return nil, err
+	}
+	a.stats.Reads++
+	out := make([]byte, 0, count*geom.SectorSize)
+	for count > 0 {
+		logical := lba / int64(a.chunk)
+		off := int(lba % int64(a.chunk))
+		n := a.chunk - off
+		if n > count {
+			n = count
+		}
+		dev, devChunk, _ := a.chunkLoc(logical)
+		buf, err := a.devRead(p, dev, devChunk, off, n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, buf...)
+		lba += int64(n)
+		count -= n
+	}
+	return out, nil
+}
+
+// Write stores count logical sectors at lba, maintaining parity. Writes
+// covering a full stripe compute parity directly (no reads); partial
+// ("small") writes pay the classic read-modify-write: read old data and old
+// parity, then write new data and new parity.
+func (a *Array) Write(p *sim.Proc, lba int64, count int, data []byte) error {
+	if err := blockdev.CheckRange(a.Sectors(), lba, count); err != nil {
+		return err
+	}
+	if len(data) < count*geom.SectorSize {
+		return fmt.Errorf("%w: %d bytes for %d sectors", ErrBadArray, len(data), count)
+	}
+	a.stats.Writes++
+	n := int64(len(a.devs))
+	stripeData := int64(a.chunk) * (n - 1) // logical sectors per stripe
+	for count > 0 {
+		stripe := lba / stripeData
+		inStripe := lba % stripeData
+		this := int(stripeData - inStripe)
+		if this > count {
+			this = count
+		}
+		chunkBytes := int64(a.chunk) * geom.SectorSize
+		if inStripe == 0 && int64(this) == stripeData {
+			// Full-stripe write: parity from the new data alone.
+			parity := make([]byte, chunkBytes)
+			pDev := a.parityDev(stripe)
+			for i := int64(0); i < n-1; i++ {
+				part := data[i*chunkBytes : (i+1)*chunkBytes]
+				xorInto(parity, part)
+				dev, devChunk, _ := a.chunkLoc(stripe*(n-1) + i)
+				if err := a.devWrite(p, dev, devChunk, 0, part); err != nil {
+					return err
+				}
+			}
+			if err := a.devWrite(p, pDev, stripe, 0, parity); err != nil {
+				return err
+			}
+			a.stats.FullStripes++
+		} else {
+			// Small write(s): read-modify-write per touched chunk.
+			if err := a.smallWrite(p, lba, this, data[:this*geom.SectorSize]); err != nil {
+				return err
+			}
+		}
+		data = data[this*geom.SectorSize:]
+		lba += int64(this)
+		count -= this
+	}
+	return nil
+}
+
+// smallWrite updates up to a stripe's worth of sectors with read-modify-
+// write parity maintenance.
+func (a *Array) smallWrite(p *sim.Proc, lba int64, count int, data []byte) error {
+	for count > 0 {
+		logical := lba / int64(a.chunk)
+		off := int(lba % int64(a.chunk))
+		nSect := a.chunk - off
+		if nSect > count {
+			nSect = count
+		}
+		dev, devChunk, stripe := a.chunkLoc(logical)
+		pDev := a.parityDev(stripe)
+		newData := data[:nSect*geom.SectorSize]
+
+		// Read old data and old parity (2 reads).
+		oldData, err := a.devRead(p, dev, devChunk, off, nSect)
+		if err != nil {
+			return err
+		}
+		oldParity, err := a.devRead(p, pDev, stripe, off, nSect)
+		if err != nil {
+			return err
+		}
+		// New parity = old parity XOR old data XOR new data.
+		parity := make([]byte, len(oldParity))
+		copy(parity, oldParity)
+		xorInto(parity, oldData)
+		xorInto(parity, newData)
+
+		// Write new data and new parity (2 writes).
+		if err := a.devWrite(p, dev, devChunk, off, newData); err != nil {
+			return err
+		}
+		if err := a.devWrite(p, pDev, stripe, off, parity); err != nil {
+			return err
+		}
+		a.stats.SmallWrites++
+
+		data = data[nSect*geom.SectorSize:]
+		lba += int64(nSect)
+		count -= nSect
+	}
+	return nil
+}

@@ -1,0 +1,298 @@
+// Package sched implements disk request queues with pluggable scheduling
+// policies.
+//
+// A Queue owns one drive: a dedicated worker process pulls requests off the
+// queue according to the policy and executes them on the drive one at a
+// time. The paper's two subsystems map onto two policies: the standard Linux
+// disk subsystem uses a LOOK elevator, and Trail's data disks use LOOK with
+// strict read priority ("data disk reads are given higher priority than data
+// disk writes", §4.1).
+package sched
+
+import (
+	"fmt"
+	"time"
+
+	"tracklog/internal/disk"
+	"tracklog/internal/sim"
+)
+
+// Policy selects the order requests are served in.
+type Policy int
+
+const (
+	// FIFO serves requests in arrival order.
+	FIFO Policy = iota + 1
+	// SSTF serves the request with the shortest seek distance from the
+	// current head position (greedy; can starve distant requests).
+	SSTF
+	// LOOK is the classic elevator: serve the nearest request in the
+	// current sweep direction, reversing at the last request.
+	LOOK
+	// ReadPriorityLOOK serves all queued reads (LOOK order) before any
+	// write, reads pre-empting queued writes on every dispatch decision.
+	ReadPriorityLOOK
+)
+
+func (p Policy) String() string {
+	switch p {
+	case FIFO:
+		return "fifo"
+	case SSTF:
+		return "sstf"
+	case LOOK:
+		return "look"
+	case ReadPriorityLOOK:
+		return "read-priority-look"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Request is a queued disk command. Done fires when the command completes;
+// Result is valid after that.
+type Request struct {
+	Write bool
+	LBA   int64
+	Count int
+	Data  []byte
+
+	Done   *sim.Event
+	Result disk.Result
+
+	// Queued records when the request entered the queue, for queueing
+	// delay accounting.
+	Queued sim.Time
+}
+
+// Wait blocks p until the request completes and returns its total latency
+// including queueing delay.
+func (r *Request) Wait(p *sim.Proc) time.Duration {
+	r.Done.Wait(p)
+	return r.Result.End.Sub(r.Queued)
+}
+
+// Stats aggregates queue behaviour.
+type Stats struct {
+	Submitted, Completed int64
+	// QueueWait is time spent waiting in queue (excluding service).
+	QueueWait time.Duration
+	// MaxDepth is the high-water mark of queued requests.
+	MaxDepth int
+}
+
+// Queue is a request queue bound to one drive. Create with New; submit with
+// Submit (async) or Do (sync).
+type Queue struct {
+	env    *sim.Env
+	disk   *disk.Disk
+	policy Policy
+
+	reads, writes []*Request // pending, in arrival order
+	nonEmpty      *sim.Cond
+	lastLBA       int64
+	sweepUp       bool
+	stats         Stats
+}
+
+// New creates a queue over d with the given policy and starts its worker
+// process on env.
+func New(env *sim.Env, d *disk.Disk, policy Policy) *Queue {
+	q := &Queue{
+		env:      env,
+		disk:     d,
+		policy:   policy,
+		nonEmpty: sim.NewCond(env),
+		sweepUp:  true,
+	}
+	env.Go(fmt.Sprintf("sched-%s-%s", d.Params().Name, policy), q.worker)
+	return q
+}
+
+// Disk returns the drive this queue feeds.
+func (q *Queue) Disk() *disk.Disk { return q.disk }
+
+// Stats returns a copy of the queue counters.
+func (q *Queue) Stats() Stats { return q.stats }
+
+// Depth returns the number of pending requests.
+func (q *Queue) Depth() int { return len(q.reads) + len(q.writes) }
+
+// Submit enqueues req and returns immediately. The caller waits on req.Done
+// if it needs completion.
+func (q *Queue) Submit(req *Request) {
+	if req.Done == nil {
+		req.Done = sim.NewEvent(q.env)
+	}
+	req.Queued = q.env.Now()
+	if req.Write {
+		q.writes = append(q.writes, req)
+	} else {
+		q.reads = append(q.reads, req)
+	}
+	if d := q.Depth(); d > q.stats.MaxDepth {
+		q.stats.MaxDepth = d
+	}
+	q.stats.Submitted++
+	q.nonEmpty.Signal()
+}
+
+// Do enqueues req and blocks p until it completes.
+func (q *Queue) Do(p *sim.Proc, req *Request) disk.Result {
+	req.Done = sim.NewEvent(q.env)
+	q.Submit(req)
+	req.Done.Wait(p)
+	return req.Result
+}
+
+// worker is the queue's dispatch loop.
+func (q *Queue) worker(p *sim.Proc) {
+	for {
+		for q.Depth() == 0 {
+			q.nonEmpty.Wait(p)
+		}
+		req := q.pick()
+		q.stats.QueueWait += p.Now().Sub(req.Queued)
+		dr := disk.Request{Write: req.Write, LBA: req.LBA, Count: req.Count, Data: req.Data}
+		req.Result = q.disk.Access(p, &dr)
+		if !req.Write {
+			req.Data = dr.Data
+		}
+		q.lastLBA = req.LBA + int64(req.Count) - 1
+		q.stats.Completed++
+		req.Done.Trigger()
+	}
+}
+
+// pick removes and returns the next request per the policy.
+func (q *Queue) pick() *Request {
+	switch q.policy {
+	case FIFO:
+		return q.popFIFO()
+	case SSTF:
+		return q.popSSTF()
+	case LOOK:
+		return q.popLOOK()
+	case ReadPriorityLOOK:
+		if len(q.reads) > 0 {
+			return q.removeRead(q.lookIndex(q.reads))
+		}
+		return q.removeWrite(q.lookIndex(q.writes))
+	default:
+		panic(fmt.Sprintf("sched: unknown policy %v", q.policy))
+	}
+}
+
+func (q *Queue) popFIFO() *Request {
+	// Oldest across both lists.
+	switch {
+	case len(q.reads) == 0:
+		return q.removeWrite(0)
+	case len(q.writes) == 0:
+		return q.removeRead(0)
+	case q.reads[0].Queued <= q.writes[0].Queued:
+		return q.removeRead(0)
+	default:
+		return q.removeWrite(0)
+	}
+}
+
+// popLOOK picks the elevator-nearest request across reads and writes.
+func (q *Queue) popLOOK() *Request {
+	all := make([]*Request, 0, q.Depth())
+	all = append(all, q.reads...)
+	all = append(all, q.writes...)
+	best := q.lookIndex(all)
+	req := all[best]
+	// Remove from whichever list holds it.
+	for i, r := range q.reads {
+		if r == req {
+			return q.removeRead(i)
+		}
+	}
+	for i, r := range q.writes {
+		if r == req {
+			return q.removeWrite(i)
+		}
+	}
+	panic("sched: LOOK picked unknown request")
+}
+
+// lookIndex returns the index in list of the next request per LOOK given the
+// current head position and sweep direction; it reverses direction when the
+// sweep is exhausted. list must be non-empty.
+func (q *Queue) lookIndex(list []*Request) int {
+	pickDir := func(up bool) (int, bool) {
+		best, found := -1, false
+		for i, r := range list {
+			inDir := (up && r.LBA >= q.lastLBA) || (!up && r.LBA <= q.lastLBA)
+			if !inDir {
+				continue
+			}
+			if !found {
+				best, found = i, true
+				continue
+			}
+			d1, d2 := absDelta(r.LBA, q.lastLBA), absDelta(list[best].LBA, q.lastLBA)
+			if d1 < d2 {
+				best = i
+			}
+		}
+		return best, found
+	}
+	if i, ok := pickDir(q.sweepUp); ok {
+		return i
+	}
+	q.sweepUp = !q.sweepUp
+	i, ok := pickDir(q.sweepUp)
+	if !ok {
+		panic("sched: lookIndex on empty list")
+	}
+	return i
+}
+
+func absDelta(a, b int64) int64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+func (q *Queue) removeRead(i int) *Request {
+	r := q.reads[i]
+	q.reads = append(q.reads[:i], q.reads[i+1:]...)
+	return r
+}
+
+func (q *Queue) removeWrite(i int) *Request {
+	r := q.writes[i]
+	q.writes = append(q.writes[:i], q.writes[i+1:]...)
+	return r
+}
+
+// popSSTF picks the request with the shortest seek distance from the
+// current head position, regardless of direction (starvation-prone, which
+// is why LOOK exists; provided for comparison).
+func (q *Queue) popSSTF() *Request {
+	all := make([]*Request, 0, q.Depth())
+	all = append(all, q.reads...)
+	all = append(all, q.writes...)
+	best := 0
+	for i, r := range all {
+		if absDelta(r.LBA, q.lastLBA) < absDelta(all[best].LBA, q.lastLBA) {
+			best = i
+		}
+	}
+	req := all[best]
+	for i, r := range q.reads {
+		if r == req {
+			return q.removeRead(i)
+		}
+	}
+	for i, r := range q.writes {
+		if r == req {
+			return q.removeWrite(i)
+		}
+	}
+	panic("sched: SSTF picked unknown request")
+}

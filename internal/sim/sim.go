@@ -1,0 +1,298 @@
+// Package sim implements a deterministic discrete-event simulation kernel
+// with a virtual clock and cooperative processes.
+//
+// Every timing-sensitive component of the Trail reproduction (the rotational
+// disk model, the Trail driver, workload generators, the transaction engine)
+// runs as a simulated process on this kernel. Exactly one process executes at
+// any instant; a process gives up control only by blocking on a kernel
+// primitive (Sleep, Event.Wait, Cond.Wait, Resource.Acquire). Runs are
+// bit-reproducible: the kernel never reads the wall clock and breaks ties in
+// the event queue by insertion sequence number.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is an instant of virtual time, in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Add returns the instant d after t.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between t and earlier instant u.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// Duration converts t to the duration elapsed since the simulation epoch.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// String formats t with millisecond precision, e.g. "12.345ms".
+func (t Time) String() string { return time.Duration(t).String() }
+
+// procState tracks where a process is in its lifecycle.
+type procState int
+
+const (
+	// procReady means the process is scheduled in the event queue.
+	procReady procState = iota + 1
+	// procRunning means the process is the one currently executing.
+	procRunning
+	// procParked means the process is blocked on a primitive and is not in
+	// the event queue; something must call env.ready(p) to resume it.
+	procParked
+	// procDone means the process function returned.
+	procDone
+)
+
+// Proc is a simulated process. All blocking operations are methods on Proc so
+// that the kernel always knows which process is yielding.
+type Proc struct {
+	env    *Env
+	name   string
+	id     int64
+	resume chan struct{}
+	state  procState
+	killed bool
+	done   *Event // triggered when the process function returns
+}
+
+// killedPanic is the sentinel used to unwind processes on Env.Close.
+type killedPanic struct{ p *Proc }
+
+// Env is a simulation environment: a virtual clock plus the event queue.
+// Create one with NewEnv; it is not safe for concurrent use (the whole point
+// is that nothing in a simulation is concurrent in real time).
+type Env struct {
+	now    Time
+	seq    int64
+	queue  eventQueue
+	parked chan struct{} // handshake: running proc -> kernel
+	cur    *Proc
+	procs  map[int64]*Proc
+	nextID int64
+	closed bool
+
+	// kernelPanic holds a panic propagated from a process goroutine; Run
+	// re-panics with it on the caller's goroutine so failures surface in
+	// the test or tool that drives the simulation.
+	kernelPanic error
+}
+
+// NewEnv returns an empty environment with the clock at 0.
+func NewEnv() *Env {
+	return &Env{
+		parked: make(chan struct{}),
+		procs:  make(map[int64]*Proc),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() Time { return e.now }
+
+// Go spawns a new simulated process named name. The process starts when the
+// kernel next reaches the current virtual time in its queue (i.e. after the
+// spawning process yields). It returns the Proc, whose Done event can be
+// waited on.
+func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
+	if e.closed {
+		panic("sim: Go on closed Env")
+	}
+	e.nextID++
+	p := &Proc{
+		env:    e,
+		name:   name,
+		id:     e.nextID,
+		resume: make(chan struct{}),
+		state:  procReady,
+	}
+	p.done = NewEvent(e)
+	e.procs[p.id] = p
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil {
+				if kp, ok := r.(killedPanic); ok && kp.p == p {
+					// Unwound by Env.Close: hand control back silently.
+					p.state = procDone
+					delete(e.procs, p.id)
+					e.parked <- struct{}{}
+					return
+				}
+				// Re-panicking here would crash the whole program from a
+				// bare goroutine with a confusing trace. Surface the panic
+				// on the kernel side instead.
+				p.state = procDone
+				delete(e.procs, p.id)
+				e.kernelPanic = fmt.Errorf("sim: process %q panicked: %v", p.name, r)
+				e.parked <- struct{}{}
+				return
+			}
+		}()
+		fn(p)
+		p.state = procDone
+		delete(e.procs, p.id)
+		p.done.Trigger()
+		e.parked <- struct{}{}
+	}()
+	e.schedule(e.now, p)
+	return p
+}
+
+// schedule puts p into the event queue at time t.
+func (e *Env) schedule(t Time, p *Proc) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.queue, &queued{at: t, seq: e.seq, proc: p})
+	p.state = procReady
+}
+
+// ready resumes a parked process at the current time (FIFO among same-time
+// wakeups).
+func (e *Env) ready(p *Proc) {
+	if p.state != procParked {
+		panic(fmt.Sprintf("sim: ready on process %q in state %d", p.name, p.state))
+	}
+	e.schedule(e.now, p)
+}
+
+// Run drives the simulation until the event queue is empty or until no event
+// is earlier than the optional deadline (use RunUntil for a deadline). It
+// returns the final virtual time. Processes still blocked on primitives when
+// the queue drains are left parked; call Close to unwind them.
+func (e *Env) Run() Time { return e.RunUntil(Time(1<<62 - 1)) }
+
+// RunUntil drives the simulation until the event queue is empty or the next
+// event would be after deadline. The clock never passes deadline.
+func (e *Env) RunUntil(deadline Time) Time {
+	if e.closed {
+		panic("sim: RunUntil on closed Env")
+	}
+	for e.queue.Len() > 0 {
+		next := e.queue[0]
+		if next.at > deadline {
+			e.now = deadline
+			return e.now
+		}
+		heap.Pop(&e.queue)
+		if next.proc.state == procDone {
+			continue // process was killed while queued
+		}
+		e.now = next.at
+		e.step(next.proc)
+		if e.kernelPanic != nil {
+			p := e.kernelPanic
+			e.kernelPanic = nil
+			panic(p)
+		}
+	}
+	return e.now
+}
+
+// step transfers control to p and waits for it to park or finish.
+func (e *Env) step(p *Proc) {
+	prev := e.cur
+	e.cur = p
+	p.state = procRunning
+	p.resume <- struct{}{}
+	<-e.parked
+	e.cur = prev
+}
+
+// Close unwinds every live process so no goroutines are leaked. After Close
+// the environment must not be used. It is safe to call from the goroutine
+// that called Run (not from inside a simulated process).
+func (e *Env) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	for _, p := range e.procs {
+		if p.state == procParked || p.state == procReady {
+			p.killed = true
+			e.step(p)
+		}
+	}
+	e.procs = map[int64]*Proc{}
+	e.queue = nil
+}
+
+// park blocks the calling process until something calls env.ready(p).
+func (p *Proc) park() {
+	p.state = procParked
+	p.env.parked <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(killedPanic{p: p})
+	}
+	p.state = procRunning
+}
+
+// Env returns the environment the process runs in.
+func (p *Proc) Env() *Env { return p.env }
+
+// Name returns the process name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.env.now }
+
+// Done returns an event triggered when the process function returns.
+func (p *Proc) Done() *Event { return p.done }
+
+// Sleep blocks the process for d of virtual time. Non-positive durations
+// still yield control (the process re-runs at the same instant, after other
+// work queued at that instant).
+func (p *Proc) Sleep(d time.Duration) {
+	if p.env.cur != p {
+		panic("sim: Sleep called from outside the running process")
+	}
+	at := p.env.now
+	if d > 0 {
+		at = at.Add(d)
+	}
+	p.state = procParked
+	p.env.schedule(at, p)
+	p.env.parked <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(killedPanic{p: p})
+	}
+	p.state = procRunning
+}
+
+// Yield gives other processes scheduled at the current instant a chance to
+// run before p continues.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// queued is an entry in the kernel's event queue.
+type queued struct {
+	at   Time
+	seq  int64
+	proc *Proc
+}
+
+// eventQueue is a min-heap on (at, seq).
+type eventQueue []*queued
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*queued)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return it
+}

@@ -1,0 +1,192 @@
+package sim
+
+// Event is a one-shot completion signal. Processes that Wait before Trigger
+// are resumed (in FIFO order) at the instant of the Trigger; Wait after
+// Trigger returns immediately. The zero value is not usable; create events
+// with NewEvent.
+type Event struct {
+	env     *Env
+	fired   bool
+	at      Time
+	waiters []*Proc
+}
+
+// NewEvent returns an untriggered event bound to env.
+func NewEvent(env *Env) *Event { return &Event{env: env} }
+
+// Fired reports whether the event has been triggered.
+func (ev *Event) Fired() bool { return ev.fired }
+
+// At returns the virtual time the event fired (zero if it has not).
+func (ev *Event) At() Time { return ev.at }
+
+// Trigger fires the event, resuming all waiters at the current instant.
+// Triggering an already-fired event is a no-op.
+func (ev *Event) Trigger() {
+	if ev.fired {
+		return
+	}
+	ev.fired = true
+	ev.at = ev.env.now
+	for _, p := range ev.waiters {
+		ev.env.ready(p)
+	}
+	ev.waiters = nil
+}
+
+// Wait blocks p until the event fires.
+func (ev *Event) Wait(p *Proc) {
+	if ev.fired {
+		return
+	}
+	ev.waiters = append(ev.waiters, p)
+	p.park()
+}
+
+// Cond is a reusable condition: processes Wait on it and other processes
+// Signal (wake one, FIFO) or Broadcast (wake all). Unlike sync.Cond there is
+// no associated lock — the simulation is single-threaded, so the usual
+// "recheck the predicate in a loop" discipline is all that is needed.
+type Cond struct {
+	env     *Env
+	waiters []*Proc
+}
+
+// NewCond returns a condition bound to env.
+func NewCond(env *Env) *Cond { return &Cond{env: env} }
+
+// Wait parks p until a Signal or Broadcast wakes it. Callers must re-check
+// their predicate after waking.
+func (c *Cond) Wait(p *Proc) {
+	c.waiters = append(c.waiters, p)
+	p.park()
+}
+
+// Signal wakes the longest-waiting process, if any.
+func (c *Cond) Signal() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	p := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	c.env.ready(p)
+}
+
+// Broadcast wakes every waiting process.
+func (c *Cond) Broadcast() {
+	for _, p := range c.waiters {
+		c.env.ready(p)
+	}
+	c.waiters = nil
+}
+
+// Waiting returns the number of processes blocked on the condition.
+func (c *Cond) Waiting() int { return len(c.waiters) }
+
+// Resource is a counting semaphore with FIFO admission, used to model
+// exclusive hardware (capacity 1 models a disk arm).
+type Resource struct {
+	env      *Env
+	capacity int
+	inUse    int
+	waiters  []*Proc
+}
+
+// NewResource returns a resource with the given capacity (>= 1).
+func NewResource(env *Env, capacity int) *Resource {
+	if capacity < 1 {
+		panic("sim: Resource capacity must be >= 1")
+	}
+	return &Resource{env: env, capacity: capacity}
+}
+
+// Acquire blocks p until a unit of the resource is free, then takes it.
+func (r *Resource) Acquire(p *Proc) {
+	if r.inUse < r.capacity && len(r.waiters) == 0 {
+		r.inUse++
+		return
+	}
+	r.waiters = append(r.waiters, p)
+	p.park()
+	// The releaser incremented inUse on our behalf before waking us.
+}
+
+// Release frees one unit, handing it directly to the longest waiter if any.
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic("sim: Release of idle Resource")
+	}
+	if len(r.waiters) > 0 {
+		p := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		r.env.ready(p)
+		return // unit passes to p; inUse unchanged
+	}
+	r.inUse--
+}
+
+// InUse returns the number of held units.
+func (r *Resource) InUse() int { return r.inUse }
+
+// Queue is an unbounded FIFO with blocking Pop, the kernel-level analogue of
+// a Go channel. Values are any; callers own the type discipline.
+type Queue[T any] struct {
+	env   *Env
+	items []T
+	cond  *Cond
+}
+
+// NewQueue returns an empty queue bound to env.
+func NewQueue[T any](env *Env) *Queue[T] {
+	return &Queue[T]{env: env, cond: NewCond(env)}
+}
+
+// Push appends v and wakes one blocked Pop.
+func (q *Queue[T]) Push(v T) {
+	q.items = append(q.items, v)
+	q.cond.Signal()
+}
+
+// Pop blocks p until an item is available, then removes and returns the
+// oldest one.
+func (q *Queue[T]) Pop(p *Proc) T {
+	for len(q.items) == 0 {
+		q.cond.Wait(p)
+	}
+	v := q.items[0]
+	var zero T
+	q.items[0] = zero
+	q.items = q.items[1:]
+	return v
+}
+
+// TryPop removes and returns the oldest item without blocking.
+func (q *Queue[T]) TryPop() (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	v := q.items[0]
+	q.items[0] = zero
+	q.items = q.items[1:]
+	return v, true
+}
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Drain removes and returns up to max items (all items if max <= 0).
+func (q *Queue[T]) Drain(max int) []T {
+	n := len(q.items)
+	if max > 0 && max < n {
+		n = max
+	}
+	out := make([]T, n)
+	copy(out, q.items[:n])
+	for i := 0; i < n; i++ {
+		var zero T
+		q.items[i] = zero
+	}
+	q.items = q.items[n:]
+	return out
+}

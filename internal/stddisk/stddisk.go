@@ -1,0 +1,66 @@
+// Package stddisk implements the paper's comparison baseline: a standard
+// disk subsystem in which every synchronous write goes to its final in-place
+// location on the data disk, paying seek and rotational latency, behind a
+// LOOK elevator — the behaviour of the Linux disk subsystem the paper
+// measures Trail against.
+package stddisk
+
+import (
+	"fmt"
+
+	"tracklog/internal/blockdev"
+	"tracklog/internal/disk"
+	"tracklog/internal/sched"
+	"tracklog/internal/sim"
+)
+
+// Device exposes one drive as a synchronous block device through a request
+// scheduler.
+type Device struct {
+	id    blockdev.DevID
+	queue *sched.Queue
+	size  int64
+}
+
+var _ blockdev.Device = (*Device)(nil)
+
+// New wraps d as a block device with the given scheduling policy (use
+// sched.LOOK for the paper's baseline).
+func New(env *sim.Env, d *disk.Disk, id blockdev.DevID, policy sched.Policy) *Device {
+	return &Device{
+		id:    id,
+		queue: sched.New(env, d, policy),
+		size:  d.Geom().TotalSectors(),
+	}
+}
+
+// ID returns the device identity.
+func (d *Device) ID() blockdev.DevID { return d.id }
+
+// Sectors returns the device capacity in sectors.
+func (d *Device) Sectors() int64 { return d.size }
+
+// Queue returns the underlying request queue, for stats.
+func (d *Device) Queue() *sched.Queue { return d.queue }
+
+// Read returns count sectors starting at lba, blocking p for queueing plus
+// service time.
+func (d *Device) Read(p *sim.Proc, lba int64, count int) ([]byte, error) {
+	if err := blockdev.CheckRange(d.size, lba, count); err != nil {
+		return nil, fmt.Errorf("stddisk %v read: %w", d.id, err)
+	}
+	req := &sched.Request{LBA: lba, Count: count}
+	d.queue.Do(p, req)
+	return req.Data, nil
+}
+
+// Write makes count sectors at lba durable in place; it blocks p until the
+// sectors are on the platter.
+func (d *Device) Write(p *sim.Proc, lba int64, count int, data []byte) error {
+	if err := blockdev.CheckRange(d.size, lba, count); err != nil {
+		return fmt.Errorf("stddisk %v write: %w", d.id, err)
+	}
+	req := &sched.Request{Write: true, LBA: lba, Count: count, Data: data}
+	d.queue.Do(p, req)
+	return nil
+}

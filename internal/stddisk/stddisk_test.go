@@ -1,0 +1,102 @@
+package stddisk
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"tracklog/internal/blockdev"
+	"tracklog/internal/disk"
+	"tracklog/internal/geom"
+	"tracklog/internal/sched"
+	"tracklog/internal/sim"
+)
+
+func newDev(env *sim.Env) (*Device, *disk.Disk) {
+	d := disk.New(env, disk.Params{
+		Name:            "base",
+		RPM:             6000,
+		Geom:            geom.Uniform(200, 2, 50),
+		SeekT2T:         time.Millisecond,
+		SeekAvg:         6 * time.Millisecond,
+		SeekMax:         12 * time.Millisecond,
+		HeadSwitch:      500 * time.Microsecond,
+		ReadOverhead:    200 * time.Microsecond,
+		WriteOverhead:   400 * time.Microsecond,
+		WriteSettle:     100 * time.Microsecond,
+		WriteTurnaround: time.Millisecond,
+	})
+	return New(env, d, blockdev.DevID{Major: 3, Minor: 0}, sched.LOOK), d
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Close()
+	dev, _ := newDev(env)
+	data := bytes.Repeat([]byte{0xCD}, 4*geom.SectorSize)
+	var got []byte
+	env.Go("client", func(p *sim.Proc) {
+		if err := dev.Write(p, 100, 4, data); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		var err error
+		got, err = dev.Read(p, 100, 4)
+		if err != nil {
+			t.Errorf("read: %v", err)
+		}
+	})
+	env.Run()
+	if !bytes.Equal(got, data) {
+		t.Error("round trip mismatch")
+	}
+}
+
+func TestRangeChecks(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Close()
+	dev, _ := newDev(env)
+	env.Go("client", func(p *sim.Proc) {
+		if _, err := dev.Read(p, dev.Sectors(), 1); !errors.Is(err, blockdev.ErrOutOfRange) {
+			t.Errorf("read past end: %v", err)
+		}
+		if err := dev.Write(p, -1, 1, make([]byte, geom.SectorSize)); !errors.Is(err, blockdev.ErrOutOfRange) {
+			t.Errorf("negative write: %v", err)
+		}
+		if _, err := dev.Read(p, 0, 0); !errors.Is(err, blockdev.ErrOutOfRange) {
+			t.Errorf("zero-count read: %v", err)
+		}
+	})
+	env.Run()
+}
+
+func TestSyncWritePaysMechanicalCost(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Close()
+	dev, d := newDev(env)
+	var lat time.Duration
+	env.Go("client", func(p *sim.Proc) {
+		start := p.Now()
+		// Random-ish far target: should cost seek + rotation, i.e. several ms.
+		if err := dev.Write(p, 9000, 2, make([]byte, 2*geom.SectorSize)); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		lat = p.Now().Sub(start)
+	})
+	env.Run()
+	if lat < 2*time.Millisecond {
+		t.Errorf("baseline sync write latency %v suspiciously low", lat)
+	}
+	if d.Stats().Writes != 1 {
+		t.Error("write did not reach the disk")
+	}
+}
+
+func TestID(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Close()
+	dev, _ := newDev(env)
+	if dev.ID() != (blockdev.DevID{Major: 3, Minor: 0}) {
+		t.Errorf("ID = %v", dev.ID())
+	}
+}

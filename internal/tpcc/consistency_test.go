@@ -1,0 +1,175 @@
+package tpcc
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"tracklog/internal/sim"
+	"tracklog/internal/wal"
+)
+
+// TPC-C defines consistency conditions (spec §3.3) that must hold after any
+// mix of transactions. These tests run a workload and then audit the
+// database.
+
+// sumDistrictYTD returns sum(d_ytd) and per-district next order IDs.
+func auditDistricts(p *sim.Proc, db *DB, w int) (ytd uint64, nextOIDs []int) {
+	cfg := db.cfg
+	for d := 1; d <= cfg.Districts; d++ {
+		row, err := db.Tree(District).Get(p, dKey(w, d))
+		if err != nil {
+			panic(fmt.Sprintf("district %d: %v", d, err))
+		}
+		ytd += uint64(getU32(row, 1))
+		nextOIDs = append(nextOIDs, int(getU32(row, 0)))
+	}
+	return ytd, nextOIDs
+}
+
+func TestConsistencyWarehouseDistrictYTD(t *testing.T) {
+	// Condition 2-ish: W_YTD = sum(D_YTD) for the warehouse, given both
+	// start in the loader's fixed relationship and only Payment moves them
+	// together.
+	r := newRig(t, wal.SyncEveryCommit)
+	defer r.env.Close()
+	var beforeW, beforeD uint64
+	r.env.Go("audit-before", func(p *sim.Proc) {
+		row, _ := r.db.Tree(Warehouse).Get(p, wKey(1))
+		beforeW = uint64(getU32(row, 0))
+		beforeD, _ = auditDistricts(p, r.db, 1)
+	})
+	r.env.Run()
+
+	if _, err := r.run.Run(r.env, RunConfig{Transactions: 80, Concurrency: 3, Seed: 31}); err != nil {
+		t.Fatal(err)
+	}
+
+	r.env.Go("audit-after", func(p *sim.Proc) {
+		row, _ := r.db.Tree(Warehouse).Get(p, wKey(1))
+		afterW := uint64(getU32(row, 0))
+		afterD, _ := auditDistricts(p, r.db, 1)
+		// Payments add the same amount to the warehouse and to exactly one
+		// district, so the deltas must match.
+		if afterW-beforeW != afterD-beforeD {
+			t.Errorf("warehouse YTD grew %d but districts grew %d", afterW-beforeW, afterD-beforeD)
+		}
+	})
+	r.env.Run()
+}
+
+func TestConsistencyOrdersMatchDistrictCounters(t *testing.T) {
+	// Condition 3-ish: for each district, every order ID below next_o_id
+	// exists, and none at or above it does.
+	r := newRig(t, wal.SyncEveryCommit)
+	defer r.env.Close()
+	if _, err := r.run.Run(r.env, RunConfig{Transactions: 80, Concurrency: 2, Seed: 33}); err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallCfg()
+	r.env.Go("audit", func(p *sim.Proc) {
+		for d := 1; d <= cfg.Districts; d++ {
+			row, err := r.db.Tree(District).Get(p, dKey(1, d))
+			if err != nil {
+				t.Fatalf("district %d: %v", d, err)
+			}
+			nextOID := int(getU32(row, 0))
+			for o := 1; o < nextOID; o++ {
+				if _, err := r.db.Tree(Order).Get(p, oKey(1, d, o)); err != nil {
+					t.Errorf("district %d: order %d missing (next_o_id %d)", d, o, nextOID)
+				}
+			}
+			if _, err := r.db.Tree(Order).Get(p, oKey(1, d, nextOID)); err == nil {
+				t.Errorf("district %d: order %d exists at next_o_id", d, nextOID)
+			}
+		}
+	})
+	r.env.Run()
+}
+
+func TestConsistencyOrderLinesMatchOrders(t *testing.T) {
+	// Condition 5-ish: every order's ol_cnt order lines exist and no more.
+	r := newRig(t, wal.SyncEveryCommit)
+	defer r.env.Close()
+	if _, err := r.run.Run(r.env, RunConfig{Transactions: 60, Concurrency: 2, Seed: 35}); err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallCfg()
+	r.env.Go("audit", func(p *sim.Proc) {
+		checked := 0
+		for d := 1; d <= cfg.Districts; d++ {
+			row, _ := r.db.Tree(District).Get(p, dKey(1, d))
+			nextOID := int(getU32(row, 0))
+			for o := 1; o < nextOID; o++ {
+				oRow, err := r.db.Tree(Order).Get(p, oKey(1, d, o))
+				if err != nil {
+					continue
+				}
+				olCnt := int(getU32(oRow, 1))
+				for l := 1; l <= olCnt; l++ {
+					if _, err := r.db.Tree(OrderLine).Get(p, olKey(1, d, o, l)); err != nil {
+						t.Errorf("order (%d,%d) missing line %d of %d", d, o, l, olCnt)
+					}
+				}
+				if _, err := r.db.Tree(OrderLine).Get(p, olKey(1, d, o, olCnt+1)); err == nil {
+					t.Errorf("order (%d,%d) has extra line beyond ol_cnt %d", d, o, olCnt)
+				}
+				checked++
+			}
+		}
+		if checked == 0 {
+			t.Error("audit checked no orders")
+		}
+	})
+	r.env.Run()
+}
+
+func TestConsistencyNewOrderQueueSubsetOfOrders(t *testing.T) {
+	// Every new-order entry references an existing, undelivered order.
+	r := newRig(t, wal.SyncEveryCommit)
+	defer r.env.Close()
+	if _, err := r.run.Run(r.env, RunConfig{Transactions: 80, Concurrency: 2, Seed: 37}); err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallCfg()
+	r.env.Go("audit", func(p *sim.Proc) {
+		for d := 1; d <= cfg.Districts; d++ {
+			prefix := noPrefix(1, d)
+			r.db.Tree(NewOrder).Scan(p, prefix, func(k, v []byte) bool {
+				if !bytes.HasPrefix(k, prefix) {
+					return false
+				}
+				var oid int
+				fmt.Sscanf(string(k[len(prefix):]), "%d", &oid)
+				oRow, err := r.db.Tree(Order).Get(p, oKey(1, d, oid))
+				if err != nil {
+					t.Errorf("new-order (%d,%d) has no order row", d, oid)
+					return true
+				}
+				if getU32(oRow, 2) != 0 {
+					t.Errorf("new-order (%d,%d) already delivered (carrier %d)", d, oid, getU32(oRow, 2))
+				}
+				return true
+			})
+		}
+	})
+	r.env.Run()
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	// Two identical rigs produce bit-identical results.
+	run := func() (int64, int64, float64) {
+		r := newRig(t, wal.SyncEveryCommit)
+		defer r.env.Close()
+		res, err := r.run.Run(r.env, RunConfig{Transactions: 50, Concurrency: 2, Seed: 41})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Committed, res.LogFlushes, res.TpmC()
+	}
+	c1, f1, t1 := run()
+	c2, f2, t2 := run()
+	if c1 != c2 || f1 != f2 || t1 != t2 {
+		t.Errorf("runs diverged: (%d,%d,%v) vs (%d,%d,%v)", c1, f1, t1, c2, f2, t2)
+	}
+}

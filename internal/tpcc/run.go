@@ -1,0 +1,566 @@
+package tpcc
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"time"
+
+	"tracklog/internal/kvdb"
+	"tracklog/internal/metrics"
+	"tracklog/internal/sim"
+	"tracklog/internal/txn"
+	"tracklog/internal/wal"
+)
+
+// TxType is one of the five TPC-C transactions.
+type TxType int
+
+// The transaction types, with their standard mix percentages.
+const (
+	TxNewOrder TxType = iota + 1
+	TxPayment
+	TxOrderStatus
+	TxDelivery
+	TxStockLevel
+)
+
+func (t TxType) String() string {
+	switch t {
+	case TxNewOrder:
+		return "new-order"
+	case TxPayment:
+		return "payment"
+	case TxOrderStatus:
+		return "order-status"
+	case TxDelivery:
+		return "delivery"
+	case TxStockLevel:
+		return "stock-level"
+	default:
+		return fmt.Sprintf("tx(%d)", int(t))
+	}
+}
+
+// pickType draws a type from the standard mix (45/43/4/4/4).
+func pickType(rng *sim.Rand) TxType {
+	v := rng.Intn(100)
+	switch {
+	case v < 45:
+		return TxNewOrder
+	case v < 88:
+		return TxPayment
+	case v < 92:
+		return TxOrderStatus
+	case v < 96:
+		return TxDelivery
+	default:
+		return TxStockLevel
+	}
+}
+
+// cpuCost returns the per-transaction CPU time, calibrated for the paper's
+// 300 MHz Pentium II ("the CPU time each transaction requires is much
+// smaller than the disk I/O delay").
+func cpuCost(t TxType) time.Duration {
+	switch t {
+	case TxNewOrder:
+		return 9 * time.Millisecond
+	case TxPayment:
+		return 4 * time.Millisecond
+	case TxOrderStatus:
+		return 4 * time.Millisecond
+	case TxDelivery:
+		return 12 * time.Millisecond
+	case TxStockLevel:
+		return 6 * time.Millisecond
+	default:
+		return 5 * time.Millisecond
+	}
+}
+
+// RunConfig describes one measured TPC-C run.
+type RunConfig struct {
+	// Transactions is the measured transaction count (Table 2: 5000;
+	// Table 3: 10000).
+	Transactions int
+	// Concurrency is the number of terminal processes (Table 2: 1;
+	// Table 3: 4).
+	Concurrency int
+	// Warmup transactions run before measurement to fill caches (the paper
+	// uses 200,000 on a 300 MB cache; scale to the configured cache).
+	Warmup int
+	// Seed drives the transaction mix.
+	Seed uint64
+	// CPUScale multiplies per-transaction CPU cost (1.0 default).
+	CPUScale float64
+	// CheckpointEvery flushes all dirty pages to the table disks every N
+	// transactions (Berkeley DB's periodic checkpoint; 0 = every 100).
+	// Under the baseline these are in-place synchronous writes; under
+	// Trail they ride the log disk, which is the point of the comparison.
+	CheckpointEvery int
+}
+
+// Result reports the paper's Table 2/3 metrics.
+type Result struct {
+	Committed, Aborted int64
+	NewOrders          int64
+	// Elapsed is the measured-phase virtual time.
+	Elapsed time.Duration
+	// Response summarizes per-transaction response times.
+	Response *metrics.Summary
+	// LogIOTime is the log-disk I/O time attributable to the measured
+	// phase (Table 2's "Disk I/O Time for Logging").
+	LogIOTime time.Duration
+	// LogFlushes counts synchronous log writes (Table 3's group commits).
+	LogFlushes int64
+	// LogBytes is the log volume appended.
+	LogBytes int64
+}
+
+// TpmC returns new-order transactions per minute of virtual time.
+func (r *Result) TpmC() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.NewOrders) / r.Elapsed.Minutes()
+}
+
+// Runner executes TPC-C transactions against a DB through a transaction
+// manager.
+type Runner struct {
+	db  *DB
+	m   *txn.Manager
+	cfg RunConfig
+}
+
+// NewRunner pairs a database with a transaction manager.
+func NewRunner(db *DB, m *txn.Manager) *Runner {
+	return &Runner{db: db, m: m}
+}
+
+// Run executes cfg.Warmup + cfg.Transactions transactions on env and
+// returns metrics for the measured phase. env must be otherwise idle; the
+// call drives it to completion.
+func (r *Runner) Run(env *sim.Env, cfg RunConfig) (*Result, error) {
+	if cfg.Transactions <= 0 {
+		return nil, errors.New("tpcc: no transactions to run")
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 1
+	}
+	if cfg.CPUScale == 0 {
+		cfg.CPUScale = 1.0
+	}
+	if cfg.CheckpointEvery == 0 {
+		cfg.CheckpointEvery = 100
+	}
+	r.cfg = cfg
+
+	res := &Result{Response: metrics.NewSummary()}
+	var issued int
+	var measuring bool
+	var startLogStats wal.Stats
+	var measureStart sim.Time
+	var failure error
+
+	total := cfg.Warmup + cfg.Transactions
+	for i := 0; i < cfg.Concurrency; i++ {
+		rng := sim.NewRand(cfg.Seed + 100 + uint64(i)*104729)
+		env.Go(fmt.Sprintf("terminal-%d", i), func(p *sim.Proc) {
+			for issued < total && failure == nil {
+				n := issued
+				issued++
+				measured := n >= cfg.Warmup
+				if measured && !measuring {
+					measuring = true
+					measureStart = p.Now()
+					startLogStats = r.m.Log().Stats()
+				}
+				if cfg.CheckpointEvery > 0 && n > 0 && n%cfg.CheckpointEvery == 0 {
+					if err := r.db.FlushAll(p); err != nil {
+						failure = err
+						return
+					}
+				}
+				t := pickType(rng)
+				start := p.Now()
+				committed, err := r.runOne(p, rng, t, cfg.CPUScale)
+				if err != nil {
+					failure = err
+					return
+				}
+				if !measured {
+					continue
+				}
+				if committed && r.m.Log().Mode() == wal.GroupCommit {
+					// Under group commit a transaction's records become
+					// durable only at a later forced flush; the paper's
+					// response time runs to that point ("each transaction
+					// has to delay its commit time to the point when a
+					// batch of transactions complete"). The terminal
+					// proceeds; a watcher records durability.
+					lsn := r.m.Log().NextLSN()
+					env.Go("durability-watch", func(w *sim.Proc) {
+						r.m.Log().WaitDurable(w, lsn)
+						res.Response.Add(w.Now().Sub(start))
+					})
+				} else {
+					res.Response.Add(p.Now().Sub(start))
+				}
+				if committed {
+					res.Committed++
+					if t == TxNewOrder {
+						res.NewOrders++
+					}
+				} else {
+					res.Aborted++
+				}
+				res.Elapsed = p.Now().Sub(measureStart)
+			}
+		})
+	}
+	env.Run()
+	if failure != nil {
+		return nil, failure
+	}
+	// Force the residual log tail so durability watchers complete (a real
+	// run ends with a checkpoint).
+	var flushErr error
+	env.Go("final-flush", func(p *sim.Proc) { flushErr = r.m.Log().Flush(p) })
+	env.Run()
+	if flushErr != nil {
+		return nil, flushErr
+	}
+	end := r.m.Log().Stats()
+	res.LogIOTime = end.IOTime - startLogStats.IOTime
+	res.LogFlushes = end.Flushes - startLogStats.Flushes
+	res.LogBytes = end.AppendedBytes - startLogStats.AppendedBytes
+	return res, nil
+}
+
+// runOne executes one transaction with deadlock retries; it reports whether
+// the transaction ultimately committed. Intentional rollbacks (the 1%
+// new-order bad item) and deadlock-victim exhaustion report false.
+func (r *Runner) runOne(p *sim.Proc, rng *sim.Rand, t TxType, cpuScale float64) (bool, error) {
+	const maxRetries = 4
+	for attempt := 0; ; attempt++ {
+		err := r.execute(p, rng, t, cpuScale)
+		switch {
+		case err == nil:
+			return true, nil
+		case errors.Is(err, errRollback):
+			return false, nil
+		case errors.Is(err, txn.ErrDeadlock):
+			if attempt >= maxRetries {
+				return false, nil
+			}
+			p.Sleep(time.Duration(rng.IntRange(1, 5)) * time.Millisecond)
+		default:
+			return false, err
+		}
+	}
+}
+
+// errRollback marks the spec-mandated 1% new-order rollback.
+var errRollback = errors.New("tpcc: intentional rollback")
+
+func (r *Runner) execute(p *sim.Proc, rng *sim.Rand, t TxType, cpuScale float64) error {
+	cpu := time.Duration(float64(cpuCost(t)) * cpuScale)
+	p.Sleep(cpu / 2)
+	defer p.Sleep(cpu / 2)
+	switch t {
+	case TxNewOrder:
+		return r.newOrder(p, rng)
+	case TxPayment:
+		return r.payment(p, rng)
+	case TxOrderStatus:
+		return r.orderStatus(p, rng)
+	case TxDelivery:
+		return r.delivery(p, rng)
+	case TxStockLevel:
+		return r.stockLevel(p, rng)
+	default:
+		return fmt.Errorf("tpcc: unknown type %v", t)
+	}
+}
+
+// newOrder implements TPC-C §2.4.
+func (r *Runner) newOrder(p *sim.Proc, rng *sim.Rand) error {
+	cfg := r.db.cfg
+	w := rng.IntRange(1, cfg.Warehouses)
+	d := rng.IntRange(1, cfg.Districts)
+	c := rng.NURand(1023, 1, cfg.CustomersPerDistrict)
+	tx := r.m.Begin()
+
+	if _, err := tx.Get(p, r.db.trees[Warehouse], uint16(Warehouse), wKey(w), string(wKey(w))); err != nil {
+		return r.fail(p, tx, err)
+	}
+	dRow, err := tx.GetForUpdate(p, r.db.trees[District], uint16(District), dKey(w, d), string(dKey(w, d)))
+	if err != nil {
+		return r.fail(p, tx, err)
+	}
+	oID := int(getU32(dRow, 0))
+	if err := tx.Put(p, r.db.trees[District], uint16(District), dKey(w, d),
+		districtRow(uint32(oID+1), getU32(dRow, 1), getU32(dRow, 2)), District.logicalSize(), string(dKey(w, d))); err != nil {
+		return r.fail(p, tx, err)
+	}
+	if _, err := tx.Get(p, r.db.trees[Customer], uint16(Customer), cKey(w, d, c), string(cKey(w, d, c))); err != nil {
+		return r.fail(p, tx, err)
+	}
+
+	olCnt := rng.IntRange(5, 15)
+	rollback := rng.Intn(100) == 0 // 1% unused item id per spec
+	total := uint32(0)
+	for l := 1; l <= olCnt; l++ {
+		item := rng.NURand(8191, 1, cfg.Items)
+		if rollback && l == olCnt {
+			tx.Abort(p)
+			return errRollback
+		}
+		iRow, err := tx.Get(p, r.db.trees[Item], uint16(Item), iKey(item), string(iKey(item)))
+		if err != nil {
+			return r.fail(p, tx, err)
+		}
+		price := getU32(iRow, 0)
+		sRow, err := tx.GetForUpdate(p, r.db.trees[Stock], uint16(Stock), sKey(w, item), string(sKey(w, item)))
+		if err != nil {
+			return r.fail(p, tx, err)
+		}
+		qty := getU32(sRow, 0)
+		orderQty := uint32(rng.IntRange(1, 10))
+		if qty >= orderQty+10 {
+			qty -= orderQty
+		} else {
+			qty = qty - orderQty + 91
+		}
+		if err := tx.Put(p, r.db.trees[Stock], uint16(Stock), sKey(w, item),
+			stockRow(qty, getU32(sRow, 1)+orderQty, getU32(sRow, 2)+1, getU32(sRow, 3)),
+			Stock.logicalSize(), string(sKey(w, item))); err != nil {
+			return r.fail(p, tx, err)
+		}
+		amount := orderQty * price
+		total += amount
+		if err := tx.Put(p, r.db.trees[OrderLine], uint16(OrderLine), olKey(w, d, oID, l),
+			orderLineRow(uint32(item), orderQty, amount, 0), OrderLine.logicalSize(), string(olKey(w, d, oID, l))); err != nil {
+			return r.fail(p, tx, err)
+		}
+	}
+	if err := tx.Put(p, r.db.trees[Order], uint16(Order), oKey(w, d, oID),
+		orderRow(uint32(c), uint32(olCnt), 0, 0), Order.logicalSize(), string(oKey(w, d, oID))); err != nil {
+		return r.fail(p, tx, err)
+	}
+	if err := tx.Put(p, r.db.trees[Order], uint16(Order), ocKey(w, d, c, oID),
+		[]byte{1}, 8, string(ocKey(w, d, c, oID))); err != nil {
+		return r.fail(p, tx, err)
+	}
+	if err := tx.Put(p, r.db.trees[NewOrder], uint16(NewOrder), noKey(w, d, oID),
+		[]byte{1}, NewOrder.logicalSize(), string(noKey(w, d, oID))); err != nil {
+		return r.fail(p, tx, err)
+	}
+	return tx.Commit(p)
+}
+
+// payment implements TPC-C §2.5.
+func (r *Runner) payment(p *sim.Proc, rng *sim.Rand) error {
+	cfg := r.db.cfg
+	w := rng.IntRange(1, cfg.Warehouses)
+	d := rng.IntRange(1, cfg.Districts)
+	c := rng.NURand(1023, 1, cfg.CustomersPerDistrict)
+	amount := uint32(rng.IntRange(100, 500000))
+	tx := r.m.Begin()
+
+	wRow, err := tx.GetForUpdate(p, r.db.trees[Warehouse], uint16(Warehouse), wKey(w), string(wKey(w)))
+	if err != nil {
+		return r.fail(p, tx, err)
+	}
+	if err := tx.Put(p, r.db.trees[Warehouse], uint16(Warehouse), wKey(w),
+		warehouseRow(getU32(wRow, 0)+amount, getU32(wRow, 1)), Warehouse.logicalSize(), string(wKey(w))); err != nil {
+		return r.fail(p, tx, err)
+	}
+	dRow, err := tx.GetForUpdate(p, r.db.trees[District], uint16(District), dKey(w, d), string(dKey(w, d)))
+	if err != nil {
+		return r.fail(p, tx, err)
+	}
+	if err := tx.Put(p, r.db.trees[District], uint16(District), dKey(w, d),
+		districtRow(getU32(dRow, 0), getU32(dRow, 1)+amount, getU32(dRow, 2)), District.logicalSize(), string(dKey(w, d))); err != nil {
+		return r.fail(p, tx, err)
+	}
+	cRow, err := tx.GetForUpdate(p, r.db.trees[Customer], uint16(Customer), cKey(w, d, c), string(cKey(w, d, c)))
+	if err != nil {
+		return r.fail(p, tx, err)
+	}
+	bal := customerBalance(cRow) - int64(amount)
+	if err := tx.Put(p, r.db.trees[Customer], uint16(Customer), cKey(w, d, c),
+		customerRow(bal, getU32(cRow, 1)+amount, getU32(cRow, 2)+1, getU32(cRow, 3), getU32(cRow, 4)),
+		Customer.logicalSize(), string(cKey(w, d, c))); err != nil {
+		return r.fail(p, tx, err)
+	}
+	r.db.hSeq++
+	if err := tx.Put(p, r.db.trees[History], uint16(History), hKey(w, r.db.hSeq),
+		historyRow(uint32(c), amount), History.logicalSize(), string(hKey(w, r.db.hSeq))); err != nil {
+		return r.fail(p, tx, err)
+	}
+	return tx.Commit(p)
+}
+
+// orderStatus implements TPC-C §2.6: read the customer's latest order and
+// its lines.
+func (r *Runner) orderStatus(p *sim.Proc, rng *sim.Rand) error {
+	cfg := r.db.cfg
+	w := rng.IntRange(1, cfg.Warehouses)
+	d := rng.IntRange(1, cfg.Districts)
+	c := rng.NURand(1023, 1, cfg.CustomersPerDistrict)
+	tx := r.m.Begin()
+
+	if _, err := tx.Get(p, r.db.trees[Customer], uint16(Customer), cKey(w, d, c), string(cKey(w, d, c))); err != nil {
+		return r.fail(p, tx, err)
+	}
+	// Latest order via the customer-order index.
+	prefix := ocPrefix(w, d, c)
+	lastOID := -1
+	err := r.db.trees[Order].Scan(p, prefix, func(k, v []byte) bool {
+		if !bytes.HasPrefix(k, prefix) {
+			return false
+		}
+		fmt.Sscanf(string(k[len(prefix):]), "%d", &lastOID)
+		return true
+	})
+	if err != nil {
+		return r.fail(p, tx, err)
+	}
+	if lastOID >= 0 {
+		oRow, err := tx.Get(p, r.db.trees[Order], uint16(Order), oKey(w, d, lastOID), string(oKey(w, d, lastOID)))
+		if err == nil {
+			olCnt := int(getU32(oRow, 1))
+			for l := 1; l <= olCnt; l++ {
+				if _, err := tx.Get(p, r.db.trees[OrderLine], uint16(OrderLine), olKey(w, d, lastOID, l), string(olKey(w, d, lastOID, l))); err != nil && !errors.Is(err, kvdb.ErrNotFound) {
+					return r.fail(p, tx, err)
+				}
+			}
+		} else if !errors.Is(err, kvdb.ErrNotFound) {
+			return r.fail(p, tx, err)
+		}
+	}
+	return tx.Commit(p)
+}
+
+// delivery implements TPC-C §2.7: deliver the oldest undelivered order of
+// each district.
+func (r *Runner) delivery(p *sim.Proc, rng *sim.Rand) error {
+	cfg := r.db.cfg
+	w := rng.IntRange(1, cfg.Warehouses)
+	carrier := uint32(rng.IntRange(1, 10))
+	tx := r.m.Begin()
+
+	for d := 1; d <= cfg.Districts; d++ {
+		// Serialize per-district queue consumption.
+		qLock := fmt.Sprintf("noq:%d:%d", w, d)
+		if err := tx.Lock(p, qLock, txn.Exclusive); err != nil {
+			return r.fail(p, tx, err)
+		}
+		prefix := noPrefix(w, d)
+		oldest := -1
+		err := r.db.trees[NewOrder].Scan(p, prefix, func(k, v []byte) bool {
+			if bytes.HasPrefix(k, prefix) {
+				fmt.Sscanf(string(k[len(prefix):]), "%d", &oldest)
+			}
+			return false
+		})
+		if err != nil {
+			return r.fail(p, tx, err)
+		}
+		if oldest < 0 {
+			continue // district queue empty
+		}
+		if err := tx.Delete(p, r.db.trees[NewOrder], uint16(NewOrder), noKey(w, d, oldest), string(noKey(w, d, oldest))); err != nil {
+			return r.fail(p, tx, err)
+		}
+		oRow, err := tx.GetForUpdate(p, r.db.trees[Order], uint16(Order), oKey(w, d, oldest), string(oKey(w, d, oldest)))
+		if err != nil {
+			if errors.Is(err, kvdb.ErrNotFound) {
+				continue
+			}
+			return r.fail(p, tx, err)
+		}
+		cID := int(getU32(oRow, 0))
+		olCnt := int(getU32(oRow, 1))
+		if err := tx.Put(p, r.db.trees[Order], uint16(Order), oKey(w, d, oldest),
+			orderRow(uint32(cID), uint32(olCnt), carrier, 1), Order.logicalSize(), string(oKey(w, d, oldest))); err != nil {
+			return r.fail(p, tx, err)
+		}
+		var total int64
+		for l := 1; l <= olCnt; l++ {
+			olRow, err := tx.Get(p, r.db.trees[OrderLine], uint16(OrderLine), olKey(w, d, oldest, l), string(olKey(w, d, oldest, l)))
+			if err != nil {
+				if errors.Is(err, kvdb.ErrNotFound) {
+					continue
+				}
+				return r.fail(p, tx, err)
+			}
+			total += int64(getU32(olRow, 2))
+		}
+		cRow, err := tx.GetForUpdate(p, r.db.trees[Customer], uint16(Customer), cKey(w, d, cID), string(cKey(w, d, cID)))
+		if err != nil {
+			return r.fail(p, tx, err)
+		}
+		if err := tx.Put(p, r.db.trees[Customer], uint16(Customer), cKey(w, d, cID),
+			customerRow(customerBalance(cRow)+total, getU32(cRow, 1), getU32(cRow, 2), getU32(cRow, 3)+1, getU32(cRow, 4)),
+			Customer.logicalSize(), string(cKey(w, d, cID))); err != nil {
+			return r.fail(p, tx, err)
+		}
+	}
+	return tx.Commit(p)
+}
+
+// stockLevel implements TPC-C §2.8: count recent order lines whose stock is
+// below a threshold.
+func (r *Runner) stockLevel(p *sim.Proc, rng *sim.Rand) error {
+	cfg := r.db.cfg
+	w := rng.IntRange(1, cfg.Warehouses)
+	d := rng.IntRange(1, cfg.Districts)
+	threshold := uint32(rng.IntRange(10, 20))
+	tx := r.m.Begin()
+
+	dRow, err := tx.Get(p, r.db.trees[District], uint16(District), dKey(w, d), string(dKey(w, d)))
+	if err != nil {
+		return r.fail(p, tx, err)
+	}
+	nextOID := int(getU32(dRow, 0))
+	low := 0
+	seen := map[uint32]bool{}
+	for o := nextOID - 20; o < nextOID; o++ {
+		if o < 1 {
+			continue
+		}
+		for l := 1; l <= 15; l++ {
+			olRow, err := r.db.trees[OrderLine].Get(p, olKey(w, d, o, l))
+			if errors.Is(err, kvdb.ErrNotFound) {
+				break
+			}
+			if err != nil {
+				return r.fail(p, tx, err)
+			}
+			item := getU32(olRow, 0)
+			if seen[item] {
+				continue
+			}
+			seen[item] = true
+			sRow, err := tx.Get(p, r.db.trees[Stock], uint16(Stock), sKey(w, int(item)), string(sKey(w, int(item))))
+			if err != nil {
+				return r.fail(p, tx, err)
+			}
+			if getU32(sRow, 0) < threshold {
+				low++
+			}
+		}
+	}
+	_ = low
+	return tx.Commit(p)
+}
+
+// fail aborts tx (unless the error already aborted it) and propagates err.
+func (r *Runner) fail(p *sim.Proc, tx *txn.Txn, err error) error {
+	tx.Abort(p)
+	return err
+}

@@ -1,0 +1,343 @@
+// Package tpcc implements the TPC-C transaction-processing workload of the
+// paper's §5.2 experiments: the nine-table schema, the population rules,
+// and the five transaction types in their standard mix, running over the
+// txn/kvdb/wal stack on simulated disks.
+//
+// Rows are stored compactly (only the fields the transactions compute with)
+// but carry their TPC-C spec widths as logical sizes, so page layout, log
+// volume per transaction (~4.5 KB, matching Table 3's flush arithmetic) and
+// cache pressure track a production system.
+package tpcc
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"tracklog/internal/blockdev"
+	"tracklog/internal/kvdb"
+	"tracklog/internal/sim"
+)
+
+// Table identifies one of the nine TPC-C tables.
+type Table int
+
+// The TPC-C tables.
+const (
+	Warehouse Table = iota + 1
+	District
+	Customer
+	History
+	Order
+	NewOrder
+	OrderLine
+	Item
+	Stock
+	numTables = int(Stock)
+)
+
+// logicalSize returns the spec row width used for page-fill and log-volume
+// accounting (TPC-C v5 §1.2 storage estimates).
+func (t Table) logicalSize() int {
+	switch t {
+	case Warehouse:
+		return 89
+	case District:
+		return 95
+	case Customer:
+		return 655
+	case History:
+		return 46
+	case Order:
+		return 24
+	case NewOrder:
+		return 8
+	case OrderLine:
+		return 54
+	case Item:
+		return 82
+	case Stock:
+		return 306
+	default:
+		panic(fmt.Sprintf("tpcc: bad table %d", t))
+	}
+}
+
+func (t Table) String() string {
+	names := map[Table]string{
+		Warehouse: "warehouse", District: "district", Customer: "customer",
+		History: "history", Order: "order", NewOrder: "new-order",
+		OrderLine: "order-line", Item: "item", Stock: "stock",
+	}
+	return names[t]
+}
+
+// Key builders. Fixed-width decimal fields keep byte order == numeric order
+// for B+tree scans.
+
+func wKey(w int) []byte            { return []byte(fmt.Sprintf("w:%04d", w)) }
+func dKey(w, d int) []byte         { return []byte(fmt.Sprintf("d:%04d:%02d", w, d)) }
+func cKey(w, d, c int) []byte      { return []byte(fmt.Sprintf("c:%04d:%02d:%05d", w, d, c)) }
+func iKey(i int) []byte            { return []byte(fmt.Sprintf("i:%06d", i)) }
+func sKey(w, i int) []byte         { return []byte(fmt.Sprintf("s:%04d:%06d", w, i)) }
+func oKey(w, d, o int) []byte      { return []byte(fmt.Sprintf("o:%04d:%02d:%08d", w, d, o)) }
+func noKey(w, d, o int) []byte     { return []byte(fmt.Sprintf("n:%04d:%02d:%08d", w, d, o)) }
+func olKey(w, d, o, l int) []byte  { return []byte(fmt.Sprintf("l:%04d:%02d:%08d:%02d", w, d, o, l)) }
+func hKey(w int, seq int64) []byte { return []byte(fmt.Sprintf("h:%04d:%012d", w, seq)) }
+
+// noPrefix is the scan prefix for a district's new-order queue.
+func noPrefix(w, d int) []byte { return []byte(fmt.Sprintf("n:%04d:%02d:", w, d)) }
+
+// ocKey indexes a customer's orders for Order-Status.
+func ocKey(w, d, c, o int) []byte {
+	return []byte(fmt.Sprintf("x:%04d:%02d:%05d:%08d", w, d, c, o))
+}
+func ocPrefix(w, d, c int) []byte { return []byte(fmt.Sprintf("x:%04d:%02d:%05d:", w, d, c)) }
+
+// Row codecs: compact little-endian structs of just the computed fields.
+
+func putU32s(vals ...uint32) []byte {
+	b := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(b[4*i:], v)
+	}
+	return b
+}
+
+func getU32(b []byte, i int) uint32 { return binary.LittleEndian.Uint32(b[4*i:]) }
+
+// warehouseRow: [ytdCents, taxBP].
+func warehouseRow(ytd, tax uint32) []byte { return putU32s(ytd, tax) }
+
+// districtRow: [nextOID, ytdCents, taxBP].
+func districtRow(nextOID, ytd, tax uint32) []byte { return putU32s(nextOID, ytd, tax) }
+
+// customerRow: [balanceCents(offset 5M to stay unsigned), ytdPayment,
+// paymentCnt, deliveryCnt, creditBad].
+const balanceOffset = 500_000_000
+
+func customerRow(balance int64, ytdPayment, paymentCnt, deliveryCnt, creditBad uint32) []byte {
+	return putU32s(uint32(balance+balanceOffset), ytdPayment, paymentCnt, deliveryCnt, creditBad)
+}
+
+func customerBalance(row []byte) int64 { return int64(getU32(row, 0)) - balanceOffset }
+
+// itemRow: [priceCents, imID].
+func itemRow(price, imID uint32) []byte { return putU32s(price, imID) }
+
+// stockRow: [quantity, ytd, orderCnt, remoteCnt].
+func stockRow(qty, ytd, orderCnt, remoteCnt uint32) []byte {
+	return putU32s(qty, ytd, orderCnt, remoteCnt)
+}
+
+// orderRow: [cID, olCnt, carrierID, entryDay].
+func orderRow(cID, olCnt, carrier, entry uint32) []byte { return putU32s(cID, olCnt, carrier, entry) }
+
+// orderLineRow: [iID, qty, amountCents, deliveryDay].
+func orderLineRow(iID, qty, amount, delivery uint32) []byte {
+	return putU32s(iID, qty, amount, delivery)
+}
+
+// historyRow: [cID, amountCents].
+func historyRow(cID, amount uint32) []byte { return putU32s(cID, amount) }
+
+// Config sizes the database. Zero fields take TPC-C spec defaults for one
+// warehouse; tests shrink them.
+type Config struct {
+	// Warehouses is the TPC-C scale factor w (paper: 1).
+	Warehouses int
+	// Districts per warehouse (spec: 10).
+	Districts int
+	// CustomersPerDistrict (spec: 3000).
+	CustomersPerDistrict int
+	// Items in the catalog (spec: 100000).
+	Items int
+	// InitialOrdersPerDistrict pre-populates order history (spec: 3000).
+	InitialOrdersPerDistrict int
+	// CachePages is the page-cache capacity per table store (paper: the
+	// database buffer cache is 300 MB across the system).
+	CachePages int
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Warehouses == 0 {
+		c.Warehouses = 1
+	}
+	if c.Districts == 0 {
+		c.Districts = 10
+	}
+	if c.CustomersPerDistrict == 0 {
+		c.CustomersPerDistrict = 3000
+	}
+	if c.Items == 0 {
+		c.Items = 100000
+	}
+	if c.InitialOrdersPerDistrict == 0 {
+		c.InitialOrdersPerDistrict = c.CustomersPerDistrict
+	}
+	if c.CachePages == 0 {
+		c.CachePages = 4096
+	}
+	return c
+}
+
+// DB is a loaded TPC-C database: trees spread across the data stores the
+// way the paper spreads tables across two data disks.
+type DB struct {
+	cfg    Config
+	stores []*kvdb.Store
+	trees  map[Table]*kvdb.Tree
+	// hSeq numbers history rows (append-only table).
+	hSeq int64
+}
+
+// tablePlacement maps each table to a data store index (modulo available
+// stores): the big read-heavy tables (stock, item) on one spindle,
+// everything else on the other, echoing the paper's two table disks.
+func tablePlacement(t Table, stores int) int {
+	switch t {
+	case Item, Stock:
+		return 0
+	default:
+		return 1 % stores
+	}
+}
+
+// Load populates a fresh TPC-C database on the given data devices
+// (typically instant devices for population, reopened later on timed ones).
+func Load(p *sim.Proc, cfg Config, dataDevs []blockdev.Device) (*DB, error) {
+	cfg = cfg.withDefaults()
+	if len(dataDevs) == 0 {
+		return nil, fmt.Errorf("tpcc: no data devices")
+	}
+	db := &DB{cfg: cfg, trees: make(map[Table]*kvdb.Tree)}
+	for _, dev := range dataDevs {
+		s, err := kvdb.Open(p, dev, cfg.CachePages)
+		if err != nil {
+			return nil, fmt.Errorf("tpcc: opening store: %w", err)
+		}
+		db.stores = append(db.stores, s)
+	}
+	// Create trees in fixed table order so a reopen finds them by index.
+	for t := Table(1); int(t) <= numTables; t++ {
+		s := db.stores[tablePlacement(t, len(db.stores))]
+		tree, err := s.CreateTree(p)
+		if err != nil {
+			return nil, fmt.Errorf("tpcc: creating %v tree: %w", t, err)
+		}
+		db.trees[t] = tree
+	}
+	return db, db.populate(p)
+}
+
+// Reopen opens an already-populated database (after the stores were loaded
+// and flushed on the same media through other devices).
+func Reopen(p *sim.Proc, cfg Config, dataDevs []blockdev.Device) (*DB, error) {
+	cfg = cfg.withDefaults()
+	db := &DB{cfg: cfg, trees: make(map[Table]*kvdb.Tree)}
+	for _, dev := range dataDevs {
+		s, err := kvdb.Open(p, dev, cfg.CachePages)
+		if err != nil {
+			return nil, fmt.Errorf("tpcc: reopening store: %w", err)
+		}
+		db.stores = append(db.stores, s)
+	}
+	// Trees were created in table order; recover the placement mapping.
+	counters := make([]int, len(db.stores))
+	for t := Table(1); int(t) <= numTables; t++ {
+		si := tablePlacement(t, len(db.stores))
+		tree, err := db.stores[si].Tree(counters[si])
+		if err != nil {
+			return nil, fmt.Errorf("tpcc: reopening %v tree: %w", t, err)
+		}
+		counters[si]++
+		db.trees[t] = tree
+	}
+	db.hSeq = 1 << 40 // disjoint from load-time history keys
+	return db, nil
+}
+
+// Tree returns the tree backing a table.
+func (db *DB) Tree(t Table) *kvdb.Tree { return db.trees[t] }
+
+// Stores returns the underlying stores (for cache stats / checkpointing).
+func (db *DB) Stores() []*kvdb.Store { return db.stores }
+
+// Config returns the database sizing.
+func (db *DB) Config() Config { return db.cfg }
+
+// populate fills the tables per the TPC-C population rules (scaled by cfg).
+func (db *DB) populate(p *sim.Proc) error {
+	cfg := db.cfg
+	rng := sim.NewRand(cfg.Seed + 1)
+	put := func(t Table, key, val []byte) error {
+		return db.trees[t].Put(p, key, val, t.logicalSize())
+	}
+	for i := 1; i <= cfg.Items; i++ {
+		if err := put(Item, iKey(i), itemRow(uint32(rng.IntRange(100, 10000)), uint32(rng.Intn(10000)))); err != nil {
+			return err
+		}
+	}
+	for w := 1; w <= cfg.Warehouses; w++ {
+		if err := put(Warehouse, wKey(w), warehouseRow(30000000, uint32(rng.Intn(2000)))); err != nil {
+			return err
+		}
+		for i := 1; i <= cfg.Items; i++ {
+			if err := put(Stock, sKey(w, i), stockRow(uint32(rng.IntRange(10, 100)), 0, 0, 0)); err != nil {
+				return err
+			}
+		}
+		for d := 1; d <= cfg.Districts; d++ {
+			nextOID := cfg.InitialOrdersPerDistrict + 1
+			if err := put(District, dKey(w, d), districtRow(uint32(nextOID), 3000000, uint32(rng.Intn(2000)))); err != nil {
+				return err
+			}
+			for c := 1; c <= cfg.CustomersPerDistrict; c++ {
+				bad := uint32(0)
+				if rng.Intn(10) == 0 {
+					bad = 1 // 10% BC credit
+				}
+				if err := put(Customer, cKey(w, d, c), customerRow(-1000, 1000, 1, 0, bad)); err != nil {
+					return err
+				}
+			}
+			for o := 1; o <= cfg.InitialOrdersPerDistrict; o++ {
+				cID := rng.IntRange(1, cfg.CustomersPerDistrict)
+				olCnt := rng.IntRange(5, 15)
+				carrier := uint32(rng.IntRange(1, 10))
+				undelivered := o > cfg.InitialOrdersPerDistrict*2/3
+				if undelivered {
+					carrier = 0
+					if err := put(NewOrder, noKey(w, d, o), []byte{1}); err != nil {
+						return err
+					}
+				}
+				if err := put(Order, oKey(w, d, o), orderRow(uint32(cID), uint32(olCnt), carrier, 0)); err != nil {
+					return err
+				}
+				if err := put(Order, ocKey(w, d, cID, o), []byte{1}); err != nil {
+					return err
+				}
+				for l := 1; l <= olCnt; l++ {
+					item := rng.IntRange(1, cfg.Items)
+					row := orderLineRow(uint32(item), 5, uint32(rng.Intn(999900)), carrier)
+					if err := put(OrderLine, olKey(w, d, o, l), row); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// FlushAll checkpoints every store's dirty pages.
+func (db *DB) FlushAll(p *sim.Proc) error {
+	for _, s := range db.stores {
+		if err := s.Cache().FlushAll(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+package trail
+
+import (
+	"testing"
+	"time"
+
+	"tracklog/internal/disk"
+	"tracklog/internal/geom"
+	"tracklog/internal/sim"
+)
+
+// driftRig builds a Trail system whose log disk spins slightly off nominal.
+func driftRig(t *testing.T, ppm int64, cfg Config) (*sim.Env, *Driver) {
+	t.Helper()
+	env := sim.NewEnv()
+	params := testLogParams()
+	params.DriftPPM = ppm
+	log := disk.New(env, params)
+	if err := Format(log); err != nil {
+		t.Fatal(err)
+	}
+	data := disk.New(env, testDataParams("d"))
+	drv, err := NewDriver(env, log, []*disk.Disk{data}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env, drv
+}
+
+// writeAfterIdle measures the latency of a single write issued after a long
+// idle period on a drifting drive.
+func writeAfterIdle(t *testing.T, ppm int64, cfg Config, idle time.Duration) time.Duration {
+	t.Helper()
+	env, drv := driftRig(t, ppm, cfg)
+	defer env.Close()
+	dev := drv.Dev(0)
+	var lat time.Duration
+	done := false
+	env.Go("client", func(p *sim.Proc) {
+		dev.Write(p, 0, 1, fill(1, 1)) // establish the reference point
+		p.Sleep(idle)
+		start := p.Now()
+		if err := dev.Write(p, 64, 1, fill(2, 1)); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		lat = p.Now().Sub(start)
+		done = true
+	})
+	// RunUntil, not Run: the idle repositioner is a forever-daemon.
+	deadline := sim.Time(idle + time.Second)
+	for env.Now() < deadline && !done {
+		env.RunUntil(env.Now().Add(100 * time.Millisecond))
+	}
+	if !done {
+		t.Fatal("write never completed")
+	}
+	return lat
+}
+
+func TestDriftDecaysPredictionsOverIdle(t *testing.T) {
+	// A spindle 200 ppm fast accumulates ~2.4 sectors of prediction error
+	// over 2 s of idle — past the safety margin, so the predicted target
+	// has already passed under the head and the write pays ~a rotation.
+	// (A slow spindle only adds a small extra wait; fast is the bad case.)
+	const ppm = -200
+	idle := 2 * time.Second
+	rot := testLogParams().RotPeriod()
+
+	fresh := writeAfterIdle(t, ppm, Config{}, 5*time.Millisecond)
+	if fresh > 3*time.Millisecond {
+		t.Errorf("write right after reference = %v, want fast", fresh)
+	}
+	stale := writeAfterIdle(t, ppm, Config{}, idle)
+	if stale < rot/2 {
+		t.Errorf("write after %v idle on drifting drive = %v, want ~rotation (%v)", idle, stale, rot)
+	}
+}
+
+func TestIdleRepositioningRestoresAccuracy(t *testing.T) {
+	// The paper's fix: periodically reposition while idle so the reference
+	// point never grows stale.
+	const ppm = -200
+	idle := 2 * time.Second
+	lat := writeAfterIdle(t, ppm, Config{IdleReposition: 200 * time.Millisecond}, idle)
+	if lat > 3*time.Millisecond {
+		t.Errorf("write after idle with periodic repositioning = %v, want fast", lat)
+	}
+}
+
+func TestNoDriftNoDecay(t *testing.T) {
+	// Without drift, predictions stay exact across any idle period.
+	lat := writeAfterIdle(t, 0, Config{}, 10*time.Second)
+	if lat > 3*time.Millisecond {
+		t.Errorf("write after long idle without drift = %v, want fast", lat)
+	}
+}
+
+var _ = geom.SectorSize

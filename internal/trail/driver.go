@@ -1,0 +1,827 @@
+package trail
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"tracklog/internal/blockdev"
+	"tracklog/internal/disk"
+	"tracklog/internal/geom"
+	"tracklog/internal/sched"
+	"tracklog/internal/sim"
+)
+
+// Driver errors.
+var (
+	// ErrNeedsRecovery means the log disk header shows an unclean shutdown;
+	// run Recover before creating a driver.
+	ErrNeedsRecovery = errors.New("trail: log disk needs recovery")
+	// ErrClosed means the driver has been shut down.
+	ErrClosed = errors.New("trail: driver is shut down")
+)
+
+// Config tunes the Trail driver. The zero value selects the paper's
+// parameters via Default.
+type Config struct {
+	// UtilizationThreshold is the track fill fraction beyond which the
+	// driver moves the head to the next track after a write (paper: 30%).
+	UtilizationThreshold float64
+	// MaxBatchSectors caps the data sectors aggregated into one write
+	// record (paper: MAX_TRAIL_BATCH).
+	MaxBatchSectors int
+	// SafetySectors is the margin added to the predicted head position
+	// when choosing a landing sector, covering prediction rounding.
+	SafetySectors int
+	// RepositionMargin is the extra sector margin used when landing on the
+	// next track, covering the head-switch/seek time; <= 0 derives it from
+	// the drive parameters.
+	RepositionMargin int
+	// FixedDelta, when > 0, disables the driver's command-overhead
+	// modelling and applies the paper's raw prediction formula with a
+	// fixed delta of this many sectors (ablation: small values land behind
+	// the head and cost a full rotation per write).
+	FixedDelta int
+	// DisableBatching services one request per record (ablation for
+	// Table 1).
+	DisableBatching bool
+	// IdleReposition, when > 0, refreshes the prediction reference point
+	// after the log disk has been idle this long (paper §3.1: "periodically
+	// reposition the log disk head ... when the log disk is idle").
+	IdleReposition time.Duration
+	// DataPolicy schedules the data disks (paper: reads have priority).
+	DataPolicy sched.Policy
+}
+
+// Default returns the paper's configuration.
+func Default() Config {
+	return Config{
+		UtilizationThreshold: 0.30,
+		MaxBatchSectors:      MaxBatch,
+		SafetySectors:        1,
+		DataPolicy:           sched.ReadPriorityLOOK,
+	}
+}
+
+// withDefaults fills zero fields from Default.
+func (c Config) withDefaults() Config {
+	d := Default()
+	if c.UtilizationThreshold <= 0 {
+		c.UtilizationThreshold = d.UtilizationThreshold
+	}
+	if c.MaxBatchSectors <= 0 || c.MaxBatchSectors > MaxBatch {
+		c.MaxBatchSectors = d.MaxBatchSectors
+	}
+	if c.SafetySectors <= 0 {
+		c.SafetySectors = d.SafetySectors
+	}
+	if c.DataPolicy == 0 {
+		c.DataPolicy = d.DataPolicy
+	}
+	return c
+}
+
+// Stats aggregates driver activity for the paper's experiments.
+type Stats struct {
+	// Writes counts client write requests; Records counts physical log
+	// disk writes (batching makes Records <= Writes).
+	Writes, Records int64
+	// LoggedSectors counts data sectors written to the log (headers
+	// excluded).
+	LoggedSectors int64
+	// Repositions counts track switches; RepositionTime is their cost.
+	Repositions    int64
+	RepositionTime time.Duration
+	// TrackUtilSum/TrackUtilTracks accumulate per-track space utilization,
+	// sampled when the driver leaves a track (§5.2).
+	TrackUtilSum    float64
+	TrackUtilTracks int64
+	// LogFullStalls counts waits for a free track (log disk full).
+	LogFullStalls int64
+	// WriteBacks counts data-disk writes issued by the write-back path;
+	// SupersededWriteBacks counts staged versions that never needed their
+	// own data-disk write because a newer version covered them.
+	WriteBacks           int64
+	SupersededWriteBacks int64
+	// ReadsFromStaging counts reads served from the staging buffer.
+	ReadsFromStaging int64
+	// IdleRefreshes counts idle-time reference point refreshes.
+	IdleRefreshes int64
+}
+
+// AvgTrackUtilization returns the mean per-track space utilization over all
+// tracks the driver has filled and left.
+func (s Stats) AvgTrackUtilization() float64 {
+	if s.TrackUtilTracks == 0 {
+		return 0
+	}
+	return s.TrackUtilSum / float64(s.TrackUtilTracks)
+}
+
+// pendingWrite is a client write waiting for (or in) a log disk write.
+type pendingWrite struct {
+	devIdx int
+	lba    int64
+	count  int
+	data   []byte
+	done   *sim.Event
+	queued sim.Time
+}
+
+// logDisk is the per-log-disk state: the track allocator, the head-position
+// predictor, and the per-disk record chain. A Driver has one or more —
+// multiple log disks are the paper's §5.1 "final optimization", hiding the
+// repositioning overhead because another log disk accepts writes while one
+// switches tracks.
+type logDisk struct {
+	idx  int
+	disk *disk.Disk
+	g    *geom.Geometry
+
+	// Allocator: usable lists tracks in circular allocation order; posIdx
+	// indexes the tail track; trackUsed marks sectors holding records this
+	// visit (a record lands at the closest free run at or after the
+	// predicted head position).
+	usable     []int
+	posIdx     int
+	trackUsed  []bool
+	usedOnTail int
+	busyCount  []int
+	spaceFreed *sim.Cond
+
+	// Head position prediction.
+	pred       *Predictor
+	refCHS     geom.CHS
+	lastCmdEnd sim.Time
+
+	// Per-disk record chain (prev_sect pointers stay on one disk so
+	// recovery can walk each disk independently).
+	outstanding   []*record
+	lastRecordLBA int64
+
+	writerBusy bool
+}
+
+// Driver is the Trail disk subsystem driver: one or more log disks serving
+// one or more data disks, with a host-memory staging buffer.
+type Driver struct {
+	env *sim.Env
+	cfg Config
+
+	logs  []*logDisk
+	epoch uint32
+
+	dataDisks  []*disk.Disk
+	dataQueues []*sched.Queue
+	devIDs     []blockdev.DevID
+
+	// Log write queue shared by every log disk's writer process.
+	logQ     []*pendingWrite
+	logQCond *sim.Cond
+
+	// Record and staging bookkeeping.
+	seq          uint64
+	staging      map[bufKey]*bufEntry
+	wbQueues     []*sim.Queue[bufKey]
+	allIdleCond  *sim.Cond
+	lastActivity sim.Time
+
+	stats  Stats
+	closed bool
+}
+
+// NewDriver initializes the Trail driver over one formatted log disk, the
+// paper's standard configuration. See NewDriverMulti for the multi-log-disk
+// extension.
+func NewDriver(env *sim.Env, log *disk.Disk, data []*disk.Disk, cfg Config) (*Driver, error) {
+	return NewDriverMulti(env, []*disk.Disk{log}, data, cfg)
+}
+
+// NewDriverMulti initializes the Trail driver over one or more formatted
+// log disks and the given data disks. It returns ErrNeedsRecovery if any
+// log disk shows an unclean shutdown (run Recover/RecoverLogs first).
+// Device IDs are assigned as (major 8, minor i) in data disk order.
+func NewDriverMulti(env *sim.Env, logs []*disk.Disk, data []*disk.Disk, cfg Config) (*Driver, error) {
+	if len(logs) == 0 {
+		return nil, errors.New("trail: no log disks")
+	}
+	if len(data) == 0 {
+		return nil, errors.New("trail: no data disks")
+	}
+	cfg = cfg.withDefaults()
+
+	// Read every header; all must be clean. The new epoch tops them all.
+	var epoch uint32
+	headers := make([]*DiskHeader, len(logs))
+	for i, lg := range logs {
+		hdr, err := ReadHeader(lg)
+		if err != nil {
+			return nil, err
+		}
+		if !hdr.CleanShutdown {
+			return nil, fmt.Errorf("%w: log disk %d epoch %d crashed", ErrNeedsRecovery, i, hdr.Epoch)
+		}
+		if hdr.Epoch > epoch {
+			epoch = hdr.Epoch
+		}
+		headers[i] = hdr
+	}
+	epoch++
+
+	// A record (header + batch) must always fit on the smallest track of
+	// any log disk, or the allocator could never place it.
+	for _, lg := range logs {
+		for _, z := range lg.Geom().Zones {
+			if cfg.MaxBatchSectors+1 > z.SPT {
+				cfg.MaxBatchSectors = z.SPT - 1
+			}
+		}
+	}
+
+	d := &Driver{
+		env:         env,
+		cfg:         cfg,
+		epoch:       epoch,
+		logQCond:    sim.NewCond(env),
+		staging:     make(map[bufKey]*bufEntry),
+		allIdleCond: sim.NewCond(env),
+	}
+	for i, lg := range logs {
+		ld := &logDisk{
+			idx:           i,
+			disk:          lg,
+			g:             lg.Geom(),
+			usable:        UsableTracks(lg.Geom()),
+			spaceFreed:    sim.NewCond(env),
+			pred:          NewPredictor(lg.Params().RotPeriod()),
+			lastRecordLBA: -1,
+		}
+		ld.busyCount = make([]int, len(ld.usable))
+		_, _, spt := ld.tailTrack()
+		ld.trackUsed = make([]bool, spt)
+		d.logs = append(d.logs, ld)
+	}
+	for i, dd := range data {
+		d.dataDisks = append(d.dataDisks, dd)
+		d.dataQueues = append(d.dataQueues, sched.New(env, dd, cfg.DataPolicy))
+		d.devIDs = append(d.devIDs, blockdev.DevID{Major: 8, Minor: uint8(i)})
+		q := sim.NewQueue[bufKey](env)
+		d.wbQueues = append(d.wbQueues, q)
+		idx := i
+		env.Go(fmt.Sprintf("trail-writeback-%d", i), func(p *sim.Proc) { d.writebackLoop(p, idx) })
+	}
+
+	// Mark every log disk in-use: epoch bumped, crash variable armed.
+	// Boot-time housekeeping, not on a measured path.
+	for i, lg := range logs {
+		headers[i].Epoch = epoch
+		headers[i].CleanShutdown = false
+		if err := writeHeaderAll(lg, headers[i]); err != nil {
+			return nil, err
+		}
+	}
+
+	for _, ld := range d.logs {
+		ld := ld
+		env.Go(fmt.Sprintf("trail-logwriter-%d", ld.idx), func(p *sim.Proc) { d.logWriterLoop(p, ld) })
+	}
+	if cfg.IdleReposition > 0 {
+		env.Go("trail-idle-repositioner", d.idleLoop)
+	}
+	return d, nil
+}
+
+// Stats returns a copy of the driver counters.
+func (d *Driver) Stats() Stats { return d.stats }
+
+// Epoch returns the driver's current epoch.
+func (d *Driver) Epoch() uint32 { return d.epoch }
+
+// NumLogDisks returns the number of log disks behind the driver.
+func (d *Driver) NumLogDisks() int { return len(d.logs) }
+
+// DataQueue returns the scheduler queue of data disk idx, for stats.
+func (d *Driver) DataQueue(idx int) *sched.Queue { return d.dataQueues[idx] }
+
+// OutstandingRecords returns the number of log records not yet fully
+// committed to the data disks.
+func (d *Driver) OutstandingRecords() int {
+	n := 0
+	for _, ld := range d.logs {
+		for _, r := range ld.outstanding {
+			if !r.done {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Dev returns data disk idx as a block device.
+func (d *Driver) Dev(idx int) *DataDev {
+	return &DataDev{
+		drv:  d,
+		idx:  idx,
+		id:   d.devIDs[idx],
+		size: d.dataDisks[idx].Geom().TotalSectors(),
+	}
+}
+
+// DataDev exposes one Trail data disk through the standard block device
+// interface. Writes are durable on return (logged); reads come from the
+// staging buffer or the data disk.
+type DataDev struct {
+	drv  *Driver
+	idx  int
+	id   blockdev.DevID
+	size int64
+}
+
+var _ blockdev.Device = (*DataDev)(nil)
+
+// ID returns the device identity.
+func (dv *DataDev) ID() blockdev.DevID { return dv.id }
+
+// Sectors returns the device capacity in sectors.
+func (dv *DataDev) Sectors() int64 { return dv.size }
+
+// Read returns count sectors at lba.
+func (dv *DataDev) Read(p *sim.Proc, lba int64, count int) ([]byte, error) {
+	if err := blockdev.CheckRange(dv.size, lba, count); err != nil {
+		return nil, fmt.Errorf("trail %v read: %w", dv.id, err)
+	}
+	return dv.drv.read(p, dv.idx, lba, count)
+}
+
+// Write makes count sectors at lba durable; it returns as soon as the data
+// is on the log disk.
+func (dv *DataDev) Write(p *sim.Proc, lba int64, count int, data []byte) error {
+	if err := blockdev.CheckRange(dv.size, lba, count); err != nil {
+		return fmt.Errorf("trail %v write: %w", dv.id, err)
+	}
+	return dv.drv.write(p, dv.idx, lba, count, data)
+}
+
+// write queues the request for the log disks and blocks until it is durable.
+func (d *Driver) write(p *sim.Proc, devIdx int, lba int64, count int, data []byte) error {
+	if d.closed {
+		return ErrClosed
+	}
+	d.stats.Writes++
+	// Split requests larger than one record's capacity.
+	var waits []*sim.Event
+	for off := 0; off < count; off += d.cfg.MaxBatchSectors {
+		n := count - off
+		if n > d.cfg.MaxBatchSectors {
+			n = d.cfg.MaxBatchSectors
+		}
+		chunk := make([]byte, n*geom.SectorSize)
+		copy(chunk, data[off*geom.SectorSize:(off+n)*geom.SectorSize])
+		pw := &pendingWrite{
+			devIdx: devIdx,
+			lba:    lba + int64(off),
+			count:  n,
+			data:   chunk,
+			done:   sim.NewEvent(d.env),
+			queued: p.Now(),
+		}
+		d.logQ = append(d.logQ, pw)
+		waits = append(waits, pw.done)
+	}
+	d.logQCond.Signal()
+	for _, ev := range waits {
+		ev.Wait(p)
+	}
+	return nil
+}
+
+// read serves a read from the staging buffer when possible, otherwise from
+// the data disk (with any staged sectors overlaid, since staged data is
+// newer than the platter).
+func (d *Driver) read(p *sim.Proc, devIdx int, lba int64, count int) ([]byte, error) {
+	if d.closed {
+		return nil, ErrClosed
+	}
+	if e, ok := d.staging[bufKey{dev: devIdx, lba: lba, count: count}]; ok {
+		d.stats.ReadsFromStaging++
+		out := make([]byte, count*geom.SectorSize)
+		copy(out, e.data)
+		return out, nil
+	}
+	// A larger staged extent may fully contain the request.
+	for k, e := range d.staging {
+		if k.dev == devIdx && k.lba <= lba && k.lba+int64(k.count) >= lba+int64(count) {
+			d.stats.ReadsFromStaging++
+			off := (lba - k.lba) * geom.SectorSize
+			out := make([]byte, count*geom.SectorSize)
+			copy(out, e.data[off:])
+			return out, nil
+		}
+	}
+	req := &sched.Request{LBA: lba, Count: count}
+	d.dataQueues[devIdx].Do(p, req)
+	d.overlayStaged(devIdx, lba, count, req.Data)
+	return req.Data, nil
+}
+
+// overlayStaged copies any staged (newer) sectors overlapping [lba,
+// lba+count) of dev over buf.
+func (d *Driver) overlayStaged(devIdx int, lba int64, count int, buf []byte) {
+	end := lba + int64(count)
+	for k, e := range d.staging {
+		if k.dev != devIdx {
+			continue
+		}
+		eEnd := k.lba + int64(e.count)
+		if k.lba >= end || eEnd <= lba {
+			continue
+		}
+		from := maxI64(k.lba, lba)
+		to := minI64(eEnd, end)
+		copy(buf[(from-lba)*geom.SectorSize:(to-lba)*geom.SectorSize],
+			e.data[(from-k.lba)*geom.SectorSize:(to-k.lba)*geom.SectorSize])
+	}
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// tailTrack returns the log disk's current tail track (cyl, head, spt).
+func (ld *logDisk) tailTrack() (cyl, head, spt int) {
+	cyl, head = ld.g.TrackOf(ld.usable[ld.posIdx])
+	return cyl, head, ld.g.SPTAt(cyl)
+}
+
+// estimateMediaStart predicts when a write command issued now would reach
+// the media, using the driver's knowledge of the drive's command processing
+// overheads (paper §3.1: prediction requires "detailed knowledge of ... the
+// disk controller and disk command processing overhead").
+func (ld *logDisk) estimateMediaStart(now sim.Time) sim.Time {
+	pp := ld.disk.Params()
+	start := now
+	if ld.lastCmdEnd > 0 {
+		if t := ld.lastCmdEnd.Add(pp.WriteTurnaround); t > start {
+			start = t
+		}
+	}
+	return start.Add(pp.WriteOverhead + pp.WriteSettle)
+}
+
+// refRead issues a one-sector read at the given sector of the tail track to
+// establish or refresh the prediction reference point.
+func (ld *logDisk) refRead(p *sim.Proc, sector int) disk.Result {
+	cyl, head, _ := ld.tailTrack()
+	lba := ld.g.TrackStartLBA(cyl, head) + int64(sector)
+	res := ld.disk.Access(p, &disk.Request{LBA: lba, Count: 1})
+	a := geom.CHS{Cyl: cyl, Head: head, Sector: sector}
+	ld.pred.SetRef(res.End, ld.g, a)
+	ld.refCHS = a
+	ld.lastCmdEnd = res.End
+	return res
+}
+
+// positioningCost returns the arm cost of moving from the current tail
+// track to the given cylinder: a head switch within a cylinder, or a seek
+// across cylinders. The driver knows the geometry, so it can predict this
+// exactly (paper §3.1: "knowing the number of sectors in the ith track,
+// Trail can calculate the target block address ... on track i+1").
+func (ld *logDisk) positioningCost(toCyl int) time.Duration {
+	fromCyl, _, _ := ld.tailTrack()
+	pp := ld.disk.Params()
+	if toCyl == fromCyl {
+		return pp.HeadSwitch
+	}
+	dist := toCyl - fromCyl
+	if dist < 0 {
+		dist = -dist
+	}
+	if dist == 1 {
+		return pp.SeekT2T
+	}
+	// Rare (wrap to the start of the disk); approximate with the average.
+	return pp.SeekAvg
+}
+
+// repositionMargin returns the safety margin (in sectors) added to the
+// predicted landing sector on a new track. The positioning cost itself is
+// accounted by predicting the head angle at the media-ready time, so only
+// rounding slack is needed.
+func (d *Driver) repositionMargin() int {
+	if d.cfg.RepositionMargin > 0 {
+		return d.cfg.RepositionMargin
+	}
+	return 2
+}
+
+// advanceTrack moves the log disk's tail to the next usable track: it waits
+// for the track to be free, then repositions the head onto it with a
+// one-sector read at the closest reachable sector, refreshing the
+// prediction reference (paper §3.1/§5.1: reposition by issuing a read;
+// typical cost ~1.5 ms).
+func (d *Driver) advanceTrack(p *sim.Proc, ld *logDisk) {
+	_, _, spt := ld.tailTrack()
+	if ld.usedOnTail > 0 {
+		d.stats.TrackUtilSum += float64(ld.usedOnTail) / float64(spt)
+		d.stats.TrackUtilTracks++
+	}
+	next := (ld.posIdx + 1) % len(ld.usable)
+	for ld.busyCount[next] > 0 {
+		d.stats.LogFullStalls++
+		ld.spaceFreed.Wait(p)
+	}
+	nextCyl, _ := ld.g.TrackOf(ld.usable[next])
+	posCost := ld.positioningCost(nextCyl)
+	ld.posIdx = next
+	ld.usedOnTail = 0
+
+	cyl, head, nspt := ld.tailTrack()
+	ld.trackUsed = make([]bool, nspt)
+	landing := 0
+	if ld.pred.Valid() {
+		pp := ld.disk.Params()
+		angle := ld.pred.AngleAt(p.Now().Add(pp.ReadOverhead + posCost))
+		landing = ld.g.ClosestSectorOnTrack(cyl, head, angle, d.repositionMargin())
+	}
+	start := p.Now()
+	ld.refRead(p, landing)
+	d.stats.Repositions++
+	d.stats.RepositionTime += p.Now().Sub(start)
+}
+
+// logWriterLoop is one log disk's writer process: it drains the shared log
+// queue, batches requests, predicts the head position, and appends write
+// records at the predicted sector of its disk's tail track. With several
+// log disks, another writer keeps absorbing requests while this one
+// repositions (§5.1's final optimization).
+func (d *Driver) logWriterLoop(p *sim.Proc, ld *logDisk) {
+	for {
+		for len(d.logQ) == 0 {
+			ld.writerBusy = false
+			d.maybeAllIdle()
+			d.logQCond.Wait(p)
+		}
+		ld.writerBusy = true
+
+		if !ld.pred.Valid() {
+			ld.refRead(p, 0)
+			continue // re-check the queue; another writer may have drained it
+		}
+
+		first := d.logQ[0]
+		// A record needs a free run of 1 header + data sectors starting
+		// at or rotationally after the predicted head position. If the
+		// tail track has no such run, move to the next track.
+		target, run, ok := d.chooseTarget(p.Now(), ld, 1+first.count)
+		if !ok {
+			d.advanceTrack(p, ld)
+			continue
+		}
+
+		// Batch as many queued requests as fit in the free run at the
+		// target (paper section 4.2).
+		capacity := d.cfg.MaxBatchSectors
+		if run-1 < capacity {
+			capacity = run - 1
+		}
+		batch := d.takeBatch(capacity)
+		if len(batch) == 0 {
+			continue // another writer took the queue first
+		}
+		d.writeRecord(p, ld, target, batch)
+
+		_, _, spt := ld.tailTrack()
+		if float64(ld.usedOnTail)/float64(spt) >= d.cfg.UtilizationThreshold {
+			d.advanceTrack(p, ld)
+		}
+	}
+}
+
+// chooseTarget picks the landing sector for the next record on the log
+// disk's tail track: the closest free run of at least need sectors starting
+// at or rotationally after the predicted head position ("the next closest
+// free sector on the current track", section 3.1). It returns the run
+// length available at the target for batching, or ok=false if no run fits
+// this track.
+func (d *Driver) chooseTarget(now sim.Time, ld *logDisk, need int) (target, run int, ok bool) {
+	cyl, head, spt := ld.tailTrack()
+	var predicted int
+	if d.cfg.FixedDelta > 0 {
+		// Ablation: the paper's raw formula with a fixed delta, no
+		// command-overhead modelling.
+		predicted = ld.pred.PredictSector(now, ld.refCHS.Sector, spt, d.cfg.FixedDelta)
+	} else {
+		predicted = ld.pred.TargetSector(ld.estimateMediaStart(now), ld.g, cyl, head, d.cfg.SafetySectors)
+	}
+	// Walk sectors in rotational order from the predicted position,
+	// looking for the first free run of >= need sectors that does not
+	// cross the end of the track (records are LBA-contiguous).
+	for off := 0; off < spt; off++ {
+		s := (predicted + off) % spt
+		if s+need > spt || ld.trackUsed[s] {
+			continue
+		}
+		n := 0
+		for s+n < spt && !ld.trackUsed[s+n] {
+			n++
+		}
+		if n >= need {
+			return s, n, true
+		}
+		// Run too short; skip past it.
+		off += n
+	}
+	return 0, 0, false
+}
+
+// takeBatch removes up to capacity data sectors' worth of requests from the
+// log queue (at least the first request, if any remain).
+func (d *Driver) takeBatch(capacity int) []*pendingWrite {
+	if len(d.logQ) == 0 {
+		return nil
+	}
+	if d.cfg.DisableBatching {
+		b := []*pendingWrite{d.logQ[0]}
+		d.logQ = d.logQ[1:]
+		return b
+	}
+	var batch []*pendingWrite
+	total := 0
+	for len(d.logQ) > 0 {
+		nxt := d.logQ[0]
+		if len(batch) > 0 && total+nxt.count > capacity {
+			break
+		}
+		batch = append(batch, nxt)
+		total += nxt.count
+		d.logQ = d.logQ[1:]
+	}
+	return batch
+}
+
+// writeRecord appends one write record holding batch at the target sector
+// of the log disk's tail track, updates the prediction reference, and
+// stages the blocks for write-back.
+func (d *Driver) writeRecord(p *sim.Proc, ld *logDisk, target int, batch []*pendingWrite) {
+	cyl, head, _ := ld.tailTrack()
+	headerLBA := ld.g.TrackStartLBA(cyl, head) + int64(target)
+
+	total := 0
+	for _, pw := range batch {
+		total += pw.count
+	}
+	data := make([]byte, 0, total*geom.SectorSize)
+	blocks := make([]BlockRef, 0, total)
+	for _, pw := range batch {
+		data = append(data, pw.data...)
+		for i := 0; i < pw.count; i++ {
+			blocks = append(blocks, BlockRef{
+				Dev:     d.devIDs[pw.devIdx],
+				DataLBA: pw.lba + int64(i),
+			})
+		}
+	}
+
+	d.seq++
+	hdr := &RecordHeader{
+		Epoch:     d.epoch,
+		Seq:       d.seq,
+		HeaderLBA: headerLBA,
+		PrevSect:  ld.lastRecordLBA,
+		LogHead:   headerLBA,
+		Blocks:    blocks,
+	}
+	if oldest := ld.oldestOutstanding(); oldest != nil {
+		hdr.LogHead = oldest.headerLBA
+	}
+	img, err := BuildRecord(hdr, data)
+	if err != nil {
+		panic(fmt.Sprintf("trail: building record: %v", err))
+	}
+
+	res := ld.disk.Access(p, &disk.Request{Write: true, LBA: headerLBA, Count: 1 + total, Data: img})
+	ld.lastCmdEnd = res.End
+	d.lastActivity = res.End
+	lastCHS := geom.CHS{Cyl: cyl, Head: head, Sector: target + total}
+	ld.pred.SetRef(res.End, ld.g, lastCHS)
+	ld.refCHS = lastCHS
+
+	rec := &record{
+		seq:       hdr.Seq,
+		headerLBA: headerLBA,
+		log:       ld,
+		trackIdx:  ld.posIdx,
+		blocks:    total,
+	}
+	ld.outstanding = append(ld.outstanding, rec)
+	ld.busyCount[ld.posIdx]++
+	ld.lastRecordLBA = headerLBA
+	for s := target; s < target+1+total; s++ {
+		ld.trackUsed[s] = true
+	}
+	ld.usedOnTail += 1 + total
+	d.stats.Records++
+	d.stats.LoggedSectors += int64(total)
+
+	// The write is durable: release the clients, then stage the blocks
+	// for asynchronous write-back.
+	for _, pw := range batch {
+		d.stage(pw, rec)
+		pw.done.Trigger()
+	}
+}
+
+// idleLoop periodically refreshes the prediction reference points while the
+// log disks are idle, so that predictions stay accurate across long idle
+// periods (relevant when the drive has rotational drift).
+func (d *Driver) idleLoop(p *sim.Proc) {
+	for {
+		p.Sleep(d.cfg.IdleReposition)
+		if d.closed {
+			return
+		}
+		if len(d.logQ) > 0 {
+			continue
+		}
+		busy := false
+		for _, ld := range d.logs {
+			if ld.writerBusy {
+				busy = true
+				break
+			}
+		}
+		if busy || p.Now().Sub(d.lastActivity) < d.cfg.IdleReposition {
+			continue
+		}
+		// Refresh each disk: read one sector just ahead of the predicted
+		// position on the tail track (harmless to the free region; reads
+		// do not disturb data).
+		for _, ld := range d.logs {
+			cyl, head, _ := ld.tailTrack()
+			sector := 0
+			if ld.pred.Valid() {
+				pp := ld.disk.Params()
+				angle := ld.pred.AngleAt(p.Now().Add(pp.ReadOverhead))
+				sector = ld.g.ClosestSectorOnTrack(cyl, head, angle, 1)
+			}
+			ld.refRead(p, sector)
+			d.stats.IdleRefreshes++
+		}
+		d.lastActivity = p.Now()
+	}
+}
+
+// maybeAllIdle wakes Shutdown waiters when everything has drained.
+func (d *Driver) maybeAllIdle() {
+	if len(d.logQ) > 0 || d.OutstandingRecords() > 0 {
+		return
+	}
+	for _, ld := range d.logs {
+		if ld.writerBusy {
+			return
+		}
+	}
+	d.allIdleCond.Broadcast()
+}
+
+// drained reports whether all queues, writers and records are idle.
+func (d *Driver) drained() bool {
+	if len(d.logQ) > 0 || d.OutstandingRecords() > 0 {
+		return false
+	}
+	for _, ld := range d.logs {
+		if ld.writerBusy {
+			return false
+		}
+	}
+	return true
+}
+
+// Shutdown drains all pending log writes and write-backs, then marks every
+// log disk cleanly shut down. The driver must not be used afterwards.
+func (d *Driver) Shutdown(p *sim.Proc) error {
+	if d.closed {
+		return ErrClosed
+	}
+	for !d.drained() {
+		d.allIdleCond.Wait(p)
+	}
+	d.closed = true
+	for _, ld := range d.logs {
+		hdr := &DiskHeader{Epoch: d.epoch, CleanShutdown: true, Geom: ld.disk.Params().Geom}
+		if err := writeHeaderAll(ld.disk, hdr); err != nil {
+			return err
+		}
+	}
+	return nil
+}

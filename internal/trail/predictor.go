@@ -1,0 +1,85 @@
+package trail
+
+import (
+	"time"
+
+	"tracklog/internal/geom"
+	"tracklog/internal/sim"
+)
+
+// Predictor estimates the log disk head's angular position from a reference
+// point, implementing the paper's §3.1 scheme. The driver cannot query the
+// drive for its head position; instead it remembers (T0, LBA0) — the
+// completion time and address of the last command — and extrapolates using
+// the drive's rotation period:
+//
+//	S1 = ((T1-T0) mod RotateTime)/RotateTime * SPT + S0 + delta (mod SPT)
+//
+// The angular form used here is equivalent and handles per-zone SPT and
+// track skew uniformly: the head's angle at T1 is angle(T0) plus the elapsed
+// fraction of a revolution.
+type Predictor struct {
+	rotPeriod time.Duration
+
+	valid  bool
+	t0     sim.Time
+	angle0 float64 // head angle at t0, fraction of a revolution
+}
+
+// NewPredictor returns a predictor for a drive with the given nominal
+// rotation period.
+func NewPredictor(rotPeriod time.Duration) *Predictor {
+	return &Predictor{rotPeriod: rotPeriod}
+}
+
+// Valid reports whether a reference point has been established.
+func (pr *Predictor) Valid() bool { return pr.valid }
+
+// Invalidate discards the reference point (e.g. after a long idle period on
+// a drive with rotational drift, before repositioning re-establishes it).
+func (pr *Predictor) Invalidate() { pr.valid = false }
+
+// SetRef records that at time t the head had just passed the end of the
+// given sector — the state after a command on that sector completes.
+func (pr *Predictor) SetRef(t sim.Time, g *geom.Geometry, a geom.CHS) {
+	spt := g.SPTAt(a.Cyl)
+	end := g.SectorAngle(a) + 1.0/float64(spt)
+	if end >= 1 {
+		end--
+	}
+	pr.t0 = t
+	pr.angle0 = end
+	pr.valid = true
+}
+
+// AngleAt extrapolates the head angle at time t (>= the reference time).
+func (pr *Predictor) AngleAt(t sim.Time) float64 {
+	if !pr.valid {
+		panic("trail: AngleAt without reference point")
+	}
+	elapsed := t.Sub(pr.t0)
+	frac := float64(elapsed%pr.rotPeriod) / float64(pr.rotPeriod)
+	a := pr.angle0 + frac
+	if a >= 1 {
+		a--
+	}
+	return a
+}
+
+// PredictSector applies the paper's integer prediction formula directly:
+// given the reference sector S0 on a track with the given SPT, it returns
+// S1 = elapsedSectors + S0 + delta (mod SPT) at time t. Exposed for the §3.1
+// delta-calibration experiment; the driver itself uses the angular form.
+func (pr *Predictor) PredictSector(t sim.Time, s0, spt, delta int) int {
+	elapsed := t.Sub(pr.t0)
+	frac := float64(elapsed%pr.rotPeriod) / float64(pr.rotPeriod)
+	s1 := (int(frac*float64(spt)) + s0 + delta) % spt
+	return s1
+}
+
+// TargetSector picks the landing sector for an operation on track
+// (cyl, head) whose media phase will begin at mediaStart: the first sector
+// whose start the head can still catch, plus safety extra sectors of margin.
+func (pr *Predictor) TargetSector(mediaStart sim.Time, g *geom.Geometry, cyl, head, safety int) int {
+	return g.ClosestSectorOnTrack(cyl, head, pr.AngleAt(mediaStart), safety)
+}

@@ -1,0 +1,376 @@
+package trail
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"tracklog/internal/blockdev"
+	"tracklog/internal/disk"
+	"tracklog/internal/geom"
+	"tracklog/internal/sim"
+)
+
+// RecoverOptions tunes the recovery procedure.
+type RecoverOptions struct {
+	// SkipWriteBack ends recovery after rebuilding the pending records
+	// without propagating them to the data disks (paper §5.3 / Fig 4(b):
+	// skipping the random-access write-back phase is safe because the log
+	// copy persists, and is ~3.5x faster at Q=256).
+	SkipWriteBack bool
+	// SequentialScan disables the binary search and locates the youngest
+	// record by scanning every track (ablation for the first optimization
+	// in §3.3).
+	SequentialScan bool
+	// IgnoreLogHead walks the record chain all the way to the start of the
+	// epoch instead of stopping at the youngest record's log_head pointer
+	// (ablation for the second optimization in §3.3).
+	IgnoreLogHead bool
+}
+
+// PendingBlock is one data sector reconstructed from the log.
+type PendingBlock struct {
+	Dev     blockdev.DevID
+	DataLBA int64
+	Data    []byte
+	Seq     uint64
+}
+
+// RecoverReport describes a completed recovery.
+type RecoverReport struct {
+	// Clean is true when the disk was shut down cleanly and nothing needed
+	// recovery.
+	Clean bool
+	// Epoch is the crashed epoch that was recovered.
+	Epoch uint32
+	// TracksScanned counts full-track scans during the locate phase.
+	TracksScanned int
+	// RecordsFound counts pending write records rebuilt; TornRecords
+	// counts records discarded because a crash tore their data.
+	RecordsFound, TornRecords int
+	// BlocksReplayed counts data sectors written back to the data disks.
+	BlocksReplayed int
+	// Pending holds the reconstructed blocks when write-back was skipped.
+	Pending []PendingBlock
+	// Phase timings (paper Fig 4(a)): locating the youngest record,
+	// rebuilding the record chain, and writing blocks back.
+	LocateTime, RebuildTime, WriteBackTime time.Duration
+}
+
+// Total returns the end-to-end recovery time.
+func (r *RecoverReport) Total() time.Duration {
+	return r.LocateTime + r.RebuildTime + r.WriteBackTime
+}
+
+// Recover runs Trail's crash recovery on a log disk: it locates the
+// youngest active write record (binary search over tracks), rebuilds the
+// chain of pending records through their prev_sect pointers (bounded by the
+// log_head field), and replays the pending blocks onto the data disks in
+// sequence order. All I/O is timed; run it from a simulated process and
+// measure p's elapsed time for end-to-end cost.
+//
+// devs maps record device IDs to the data disks to replay onto; it may be
+// nil when SkipWriteBack is set.
+func Recover(p *sim.Proc, log *disk.Disk, devs map[blockdev.DevID]blockdev.Device, opts RecoverOptions) (*RecoverReport, error) {
+	return RecoverLogs(p, []*disk.Disk{log}, devs, opts)
+}
+
+// RecoverLogs recovers a (possibly multi-log-disk) Trail system: each log
+// disk is located and rebuilt independently — record chains never cross
+// disks — and the pending records of all disks are merged by their global
+// sequence numbers before replay, preserving issue order.
+func RecoverLogs(p *sim.Proc, logs []*disk.Disk, devs map[blockdev.DevID]blockdev.Device, opts RecoverOptions) (*RecoverReport, error) {
+	rep := &RecoverReport{Clean: true}
+	var records []*loadedRecord
+	var crashed []*disk.Disk
+	var crashedHdrs []*DiskHeader
+	for _, log := range logs {
+		hdr, err := ReadHeader(log)
+		if err != nil {
+			return nil, err
+		}
+		if hdr.Epoch > rep.Epoch {
+			rep.Epoch = hdr.Epoch
+		}
+		if hdr.CleanShutdown {
+			continue
+		}
+		rep.Clean = false
+		crashed = append(crashed, log)
+		crashedHdrs = append(crashedHdrs, hdr)
+
+		g := log.Geom()
+		usable := UsableTracks(g)
+
+		// Phase 1: locate the youngest active write record on this disk.
+		start := p.Now()
+		youngest, err := locateYoungest(p, log, g, usable, hdr.Epoch, opts.SequentialScan, rep)
+		rep.LocateTime += p.Now().Sub(start)
+		if err != nil {
+			return nil, err
+		}
+		if youngest == nil {
+			continue // crashed before writing any record this epoch
+		}
+
+		// Phase 2: rebuild the pending record chain back to log_head.
+		start = p.Now()
+		recs, torn, err := rebuildChain(p, log, hdr.Epoch, youngest, opts.IgnoreLogHead)
+		rep.RebuildTime += p.Now().Sub(start)
+		if err != nil {
+			return nil, err
+		}
+		rep.TornRecords += torn
+		records = append(records, recs...)
+	}
+	if rep.Clean {
+		return rep, nil
+	}
+	rep.RecordsFound = len(records)
+
+	// Replay must follow issue order across all log disks ("propagated to
+	// the data disk in the same temporal order as they were issued",
+	// §3.3); sequence numbers are global.
+	sort.Slice(records, func(i, j int) bool { return records[i].hdr.Seq < records[j].hdr.Seq })
+
+	// Phase 3: write pending blocks back to the data disks.
+	start := p.Now()
+	if opts.SkipWriteBack {
+		for _, rec := range records {
+			for i, b := range rec.hdr.Blocks {
+				rep.Pending = append(rep.Pending, PendingBlock{
+					Dev:     b.Dev,
+					DataLBA: b.DataLBA,
+					Data:    rec.data[i*geom.SectorSize : (i+1)*geom.SectorSize],
+					Seq:     rec.hdr.Seq,
+				})
+			}
+		}
+	} else {
+		n, err := replay(p, devs, records)
+		if err != nil {
+			return nil, err
+		}
+		rep.BlocksReplayed = n
+		for i, log := range crashed {
+			markClean(log, crashedHdrs[i])
+		}
+	}
+	rep.WriteBackTime = p.Now().Sub(start)
+	return rep, nil
+}
+
+// markClean rewrites the header so the next driver initialization proceeds.
+func markClean(log *disk.Disk, hdr *DiskHeader) {
+	hdr.CleanShutdown = true
+	// Header write failures are impossible here: the header encoded at
+	// format time and its geometry have not changed shape.
+	if err := writeHeaderAll(log, hdr); err != nil {
+		panic(fmt.Sprintf("trail: rewriting recovered header: %v", err))
+	}
+}
+
+// loadedRecord pairs a parsed record header with its restored data.
+type loadedRecord struct {
+	hdr  *RecordHeader
+	data []byte
+}
+
+// scanTrack reads one full track and returns the valid (untorn) record of
+// the target epoch with the highest sequence number, or nil.
+func scanTrack(p *sim.Proc, log *disk.Disk, g *geom.Geometry, track int, epoch uint32) (*loadedRecord, error) {
+	cyl, head := g.TrackOf(track)
+	spt := g.SPTAt(cyl)
+	base := g.TrackStartLBA(cyl, head)
+	req := disk.Request{LBA: base, Count: spt}
+	log.Access(p, &req)
+
+	var best *loadedRecord
+	for s := 0; s < spt; s++ {
+		sector := req.Data[s*geom.SectorSize : (s+1)*geom.SectorSize]
+		hdr, err := DecodeRecordHeader(sector)
+		if err != nil || hdr.Epoch != epoch {
+			continue
+		}
+		if hdr.HeaderLBA != base+int64(s) {
+			continue // stale copy relocated by a reformat; not this epoch's record
+		}
+		end := s + 1 + len(hdr.Blocks)
+		if end > spt {
+			continue // a record never crosses a track boundary
+		}
+		img := req.Data[s*geom.SectorSize : end*geom.SectorSize]
+		imgCopy := make([]byte, len(img))
+		copy(imgCopy, img)
+		data, err := ExtractData(hdr, imgCopy)
+		if err != nil {
+			continue // torn record
+		}
+		if best == nil || hdr.Seq > best.hdr.Seq {
+			best = &loadedRecord{hdr: hdr, data: data}
+		}
+	}
+	return best, nil
+}
+
+// locateYoungest finds the record with the highest sequence number of the
+// given epoch. Allocation starts each epoch at the first usable track and
+// proceeds in order, so written tracks form a prefix of usable (plus a
+// wrapped tail in very long runs); binary search finds the boundary in
+// O(lg N) track scans (§3.3, first optimization). If the structure is not a
+// clean prefix (e.g. the log wrapped), it falls back to a sequential scan.
+func locateYoungest(p *sim.Proc, log *disk.Disk, g *geom.Geometry, usable []int, epoch uint32, sequential bool, rep *RecoverReport) (*loadedRecord, error) {
+	scan := func(i int) (*loadedRecord, error) {
+		rep.TracksScanned++
+		return scanTrack(p, log, g, usable[i], epoch)
+	}
+	if sequential {
+		// The unoptimized baseline: scan every track (no assumptions
+		// about layout at all), as the paper's recovery would without its
+		// first optimization.
+		var best *loadedRecord
+		for i := range usable {
+			rec, err := scan(i)
+			if err != nil {
+				return nil, err
+			}
+			if rec != nil && (best == nil || rec.hdr.Seq > best.hdr.Seq) {
+				best = rec
+			}
+		}
+		return best, nil
+	}
+
+	// Binary search for the last written track of the epoch prefix.
+	first, err := scan(0)
+	if err != nil {
+		return nil, err
+	}
+	if first == nil {
+		return nil, nil
+	}
+	lo, hi := 0, len(usable)-1 // invariant: track lo is written
+	loRec := first
+	for lo < hi {
+		mid := lo + (hi-lo+1)/2
+		rec, err := scan(mid)
+		if err != nil {
+			return nil, err
+		}
+		if rec != nil && rec.hdr.Seq >= loRec.hdr.Seq {
+			lo, loRec = mid, rec
+		} else {
+			hi = mid - 1
+		}
+	}
+	// The youngest record might be on the track after the last fully
+	// scanned one is not possible: lo is the last written track, and its
+	// max-seq record is the youngest of the epoch prefix. Detect a wrapped
+	// log (last usable track written) and fall back to sequential scan.
+	if lo == len(usable)-1 {
+		last, err := scan(len(usable) - 1)
+		if err != nil {
+			return nil, err
+		}
+		if last != nil {
+			return locateYoungest(p, log, g, usable, epoch, true, rep)
+		}
+	}
+	return loRec, nil
+}
+
+// rebuildChain walks prev_sect pointers from the youngest record back to
+// its log_head (or the epoch start), loading each pending record.
+// Consecutive records cluster on a few tracks, so the walk reads whole
+// tracks and caches them rather than issuing two small reads per record.
+func rebuildChain(p *sim.Proc, log *disk.Disk, epoch uint32, youngest *loadedRecord, ignoreLogHead bool) ([]*loadedRecord, int, error) {
+	stopLBA := youngest.hdr.LogHead
+	records := []*loadedRecord{youngest}
+	torn := 0
+	cur := youngest
+	cache := make(map[int][]byte) // track index -> full-track image
+	for {
+		if !ignoreLogHead && cur.hdr.HeaderLBA == stopLBA {
+			break // reached the oldest uncommitted record
+		}
+		prev := cur.hdr.PrevSect
+		if prev < 0 {
+			break // first record of the epoch
+		}
+		rec, err := loadRecord(p, log, prev, epoch, cache)
+		if errors.Is(err, ErrNotRecord) || errors.Is(err, ErrTornRecord) {
+			if errors.Is(err, ErrTornRecord) {
+				torn++
+			}
+			break // chain ends at reused or torn space
+		}
+		if err != nil {
+			return nil, torn, err
+		}
+		records = append(records, rec)
+		cur = rec
+	}
+	return records, torn, nil
+}
+
+// loadRecord reads and validates one record at the given header LBA,
+// reading (and caching) the full track that holds it.
+func loadRecord(p *sim.Proc, log *disk.Disk, headerLBA int64, epoch uint32, cache map[int][]byte) (*loadedRecord, error) {
+	g := log.Geom()
+	a := g.ToCHS(headerLBA)
+	track := g.TrackIndex(a.Cyl, a.Head)
+	img, ok := cache[track]
+	if !ok {
+		spt := g.SPTAt(a.Cyl)
+		req := disk.Request{LBA: g.TrackStartLBA(a.Cyl, a.Head), Count: spt}
+		log.Access(p, &req)
+		img = req.Data
+		cache[track] = img
+	}
+	off := a.Sector * geom.SectorSize
+	hdr, err := DecodeRecordHeader(img[off : off+geom.SectorSize])
+	if err != nil {
+		return nil, err
+	}
+	if hdr.Epoch != epoch || hdr.HeaderLBA != headerLBA {
+		return nil, ErrNotRecord
+	}
+	end := off + (1+len(hdr.Blocks))*geom.SectorSize
+	if end > len(img) {
+		return nil, fmt.Errorf("%w: record crosses track end", ErrNotRecord)
+	}
+	recImg := make([]byte, end-off)
+	copy(recImg, img[off:end])
+	data, err := ExtractData(hdr, recImg)
+	if err != nil {
+		return nil, err
+	}
+	return &loadedRecord{hdr: hdr, data: data}, nil
+}
+
+// replay writes the pending blocks to the data disks in record sequence
+// order, coalescing contiguous runs within each record into single writes.
+func replay(p *sim.Proc, devs map[blockdev.DevID]blockdev.Device, records []*loadedRecord) (int, error) {
+	n := 0
+	for _, rec := range records {
+		blocks := rec.hdr.Blocks
+		for i := 0; i < len(blocks); {
+			j := i + 1
+			for j < len(blocks) && blocks[j].Dev == blocks[i].Dev && blocks[j].DataLBA == blocks[i].DataLBA+int64(j-i) {
+				j++
+			}
+			dev, ok := devs[blocks[i].Dev]
+			if !ok {
+				return n, fmt.Errorf("trail: recovery references unknown device %v", blocks[i].Dev)
+			}
+			run := rec.data[i*geom.SectorSize : j*geom.SectorSize]
+			if err := dev.Write(p, blocks[i].DataLBA, j-i, run); err != nil {
+				return n, fmt.Errorf("trail: replaying block: %w", err)
+			}
+			n += j - i
+			i = j
+		}
+	}
+	return n, nil
+}

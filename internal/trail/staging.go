@@ -1,0 +1,179 @@
+package trail
+
+import (
+	"tracklog/internal/geom"
+	"tracklog/internal/sched"
+	"tracklog/internal/sim"
+)
+
+// record tracks one write record on the log disk until all of its blocks
+// have been committed to the data disks, at which point its track space can
+// be reclaimed and the log head advanced (FIFO reclamation, §2).
+type record struct {
+	seq       uint64
+	headerLBA int64
+	log       *logDisk
+	trackIdx  int // index into log.usable
+	blocks    int
+	committed int
+	done      bool
+}
+
+// recordRef ties a staged buffer to the log records holding (copies of) it:
+// when the buffer reaches the data disk, each referenced record gets
+// `sectors` blocks closer to reclamation.
+type recordRef struct {
+	rec     *record
+	sectors int
+}
+
+// bufKey identifies a staged write by data disk and extent. Writes to the
+// same extent supersede each other (the paper's buffer page semantics: only
+// the newest version of a buffer needs to reach the data disk). Extents that
+// merely overlap are staged separately; clients with page-granular I/O (the
+// file system, database, and all the paper's workloads) never produce
+// conflicting partial overlaps.
+type bufKey struct {
+	dev   int
+	lba   int64
+	count int
+}
+
+// bufEntry is one staged write pinned in the driver's buffer memory.
+type bufEntry struct {
+	data    []byte
+	count   int
+	version int64
+	// refs lists the log records whose reclamation is waiting on this
+	// buffer reaching the data disk.
+	refs []recordRef
+	// inQueue is true while a write-back for this key is queued (only one
+	// queued write-back per buffer: duplicate requests are skipped, §4.2).
+	inQueue bool
+}
+
+// oldestOutstanding returns the log disk's oldest not-yet-committed record,
+// or nil.
+func (ld *logDisk) oldestOutstanding() *record {
+	for _, r := range ld.outstanding {
+		if !r.done {
+			return r
+		}
+	}
+	return nil
+}
+
+// stage pins pw's data in the buffer memory and queues a write-back. If the
+// same location is already staged, the new data supersedes it — the old
+// version never needs its own data-disk write (its log records are freed
+// when the newer version commits).
+func (d *Driver) stage(pw *pendingWrite, rec *record) {
+	key := bufKey{dev: pw.devIdx, lba: pw.lba, count: pw.count}
+	e := d.staging[key]
+	if e == nil {
+		e = &bufEntry{count: pw.count}
+		d.staging[key] = e
+	} else if len(e.refs) > 0 || e.inQueue {
+		// A version of this buffer is already awaiting write-back; the
+		// new data supersedes it and a single data-disk write will
+		// commit every accumulated record reference.
+		d.stats.SupersededWriteBacks++
+	}
+	e.data = pw.data
+	e.version++
+	e.refs = append(e.refs, recordRef{rec: rec, sectors: pw.count})
+	if !e.inQueue {
+		e.inQueue = true
+		d.wbQueues[pw.devIdx].Push(key)
+	}
+}
+
+// wbWindow is the number of write-backs kept in flight per data disk, so
+// the disk scheduler has a batch to elevator-sort and reads something to
+// pre-empt.
+const wbWindow = 8
+
+// wbFlight is one in-flight write-back.
+type wbFlight struct {
+	key   bufKey
+	entry *bufEntry
+	refs  []recordRef
+	ver   int64
+	req   *sched.Request
+}
+
+// writebackLoop drains staged buffers of one data disk to their final
+// locations, keeping up to wbWindow writes in the disk queue at once.
+// Reads pre-empt these writes in the data disk scheduler.
+func (d *Driver) writebackLoop(p *sim.Proc, devIdx int) {
+	q := d.wbQueues[devIdx]
+	for {
+		// Collect a window: block for the first key, drain extras.
+		keys := []bufKey{q.Pop(p)}
+		for len(keys) < wbWindow {
+			k, ok := q.TryPop()
+			if !ok {
+				break
+			}
+			keys = append(keys, k)
+		}
+		var flights []*wbFlight
+		for _, key := range keys {
+			e := d.staging[key]
+			if e == nil || !e.inQueue {
+				continue
+			}
+			e.inQueue = false
+			f := &wbFlight{key: key, entry: e, refs: e.refs, ver: e.version}
+			e.refs = nil
+			data := make([]byte, len(e.data))
+			copy(data, e.data)
+			f.req = &sched.Request{Write: true, LBA: key.lba, Count: e.count, Data: data}
+			d.dataQueues[devIdx].Submit(f.req)
+			flights = append(flights, f)
+		}
+		for _, f := range flights {
+			f.req.Done.Wait(p)
+			d.stats.WriteBacks++
+			for _, ref := range f.refs {
+				d.commitRef(ref)
+			}
+			// Release the buffer if no newer version arrived mid-flight.
+			e := f.entry
+			if cur := d.staging[f.key]; cur == e && e.version == f.ver && len(e.refs) == 0 && !e.inQueue {
+				delete(d.staging, f.key)
+			}
+		}
+	}
+}
+
+// commitRef credits a record with committed blocks; when a record is fully
+// committed its track space becomes reclaimable and the log head advances
+// past any fully committed prefix.
+func (d *Driver) commitRef(ref recordRef) {
+	r := ref.rec
+	r.committed += ref.sectors
+	if r.committed < r.blocks || r.done {
+		return
+	}
+	r.done = true
+	ld := r.log
+	ld.busyCount[r.trackIdx]--
+	if ld.busyCount[r.trackIdx] == 0 {
+		ld.spaceFreed.Broadcast()
+	}
+	// Advance the FIFO head past committed records.
+	for len(ld.outstanding) > 0 && ld.outstanding[0].done {
+		ld.outstanding = ld.outstanding[1:]
+	}
+	d.maybeAllIdle()
+}
+
+// StagedBytes returns the memory pinned by the staging buffer.
+func (d *Driver) StagedBytes() int64 {
+	var n int64
+	for _, e := range d.staging {
+		n += int64(e.count) * geom.SectorSize
+	}
+	return n
+}

@@ -1,0 +1,152 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"tracklog/internal/blockdev"
+	"tracklog/internal/geom"
+	"tracklog/internal/metrics"
+	"tracklog/internal/sim"
+)
+
+// TraceOp is one record of an I/O trace: issue a request `At` after trace
+// start, at LBA for Sectors sectors.
+type TraceOp struct {
+	At      time.Duration
+	Write   bool
+	LBA     int64
+	Sectors int
+}
+
+// Trace is an ordered sequence of I/O operations, replayable against any
+// block device. Traces serialize to a simple text format, one op per line:
+//
+//	<at_us> <R|W> <lba> <sectors>
+type Trace struct {
+	Ops []TraceOp
+}
+
+// WriteTo serializes the trace.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	for _, op := range t.Ops {
+		kind := "R"
+		if op.Write {
+			kind = "W"
+		}
+		m, err := fmt.Fprintf(w, "%d %s %d %d\n", op.At.Microseconds(), kind, op.LBA, op.Sectors)
+		n += int64(m)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// ParseTrace reads the text format produced by WriteTo.
+func ParseTrace(r io.Reader) (*Trace, error) {
+	t := &Trace{}
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		var atUS, lba int64
+		var kind string
+		var sectors int
+		if _, err := fmt.Sscanf(text, "%d %s %d %d", &atUS, &kind, &lba, &sectors); err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: %w", line, err)
+		}
+		if kind != "R" && kind != "W" {
+			return nil, fmt.Errorf("workload: trace line %d: bad op %q", line, kind)
+		}
+		if sectors <= 0 || lba < 0 || atUS < 0 {
+			return nil, fmt.Errorf("workload: trace line %d: bad values", line)
+		}
+		t.Ops = append(t.Ops, TraceOp{
+			At:      time.Duration(atUS) * time.Microsecond,
+			Write:   kind == "W",
+			LBA:     lba,
+			Sectors: sectors,
+		})
+	}
+	return t, sc.Err()
+}
+
+// SynthesizeTrace builds a trace of n operations with the given pattern,
+// write ratio (0..1), request size and mean inter-arrival gap
+// (exponentially distributed, a Poisson arrival process).
+func SynthesizeTrace(n int, pattern Pattern, writeRatio float64, sectors int, meanGap time.Duration, devSectors int64, seed uint64) *Trace {
+	rng := sim.NewRand(seed)
+	t := &Trace{Ops: make([]TraceOp, 0, n)}
+	at := time.Duration(0)
+	for i := 0; i < n; i++ {
+		at += time.Duration(rng.Exp(float64(meanGap)))
+		t.Ops = append(t.Ops, TraceOp{
+			At:      at,
+			Write:   rng.Float64() < writeRatio,
+			LBA:     pattern.Next(rng, devSectors, sectors),
+			Sectors: sectors,
+		})
+	}
+	return t
+}
+
+// ReplayResult reports a trace replay.
+type ReplayResult struct {
+	Reads, Writes *metrics.Summary
+	// Elapsed is the virtual time from the first issue to the last
+	// completion.
+	Elapsed time.Duration
+	// Lagged counts operations that could not be issued at their trace
+	// time because the previous operation of the (single-threaded)
+	// replayer was still outstanding.
+	Lagged int
+}
+
+// Replay issues the trace against dev with open-loop timing: each operation
+// is issued at its trace offset (or immediately, if the replayer is
+// running behind). Run the environment to completion before reading the
+// result.
+func Replay(env *sim.Env, dev blockdev.Device, t *Trace) (*ReplayResult, error) {
+	res := &ReplayResult{Reads: metrics.NewSummary(), Writes: metrics.NewSummary()}
+	var failed error
+	env.Go("trace-replay", func(p *sim.Proc) {
+		start := p.Now()
+		for _, op := range t.Ops {
+			due := start.Add(op.At)
+			if p.Now() < due {
+				p.Sleep(due.Sub(p.Now()))
+			} else if p.Now() > due {
+				res.Lagged++
+			}
+			opStart := p.Now()
+			if op.Write {
+				if err := dev.Write(p, op.LBA, op.Sectors, make([]byte, op.Sectors*geom.SectorSize)); err != nil {
+					failed = err
+					return
+				}
+				res.Writes.Add(p.Now().Sub(opStart))
+			} else {
+				if _, err := dev.Read(p, op.LBA, op.Sectors); err != nil {
+					failed = err
+					return
+				}
+				res.Reads.Add(p.Now().Sub(opStart))
+			}
+		}
+		res.Elapsed = p.Now().Sub(start)
+	})
+	env.Run()
+	if failed != nil {
+		return nil, fmt.Errorf("workload: replay: %w", failed)
+	}
+	return res, nil
+}

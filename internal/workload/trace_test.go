@@ -1,0 +1,142 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"tracklog/internal/sim"
+)
+
+func TestPatternsStayInBounds(t *testing.T) {
+	rng := sim.NewRand(1)
+	patterns := []Pattern{UniformPattern{}, &SequentialPattern{}, NewZipf(500, 0.99)}
+	const devSectors, sectors = 100000, 8
+	for _, pat := range patterns {
+		for i := 0; i < 5000; i++ {
+			lba := pat.Next(rng, devSectors, sectors)
+			if lba < 0 || lba+sectors > devSectors {
+				t.Fatalf("%v: target %d out of bounds", pat, lba)
+			}
+			if lba%sectors != 0 {
+				t.Fatalf("%v: target %d unaligned", pat, lba)
+			}
+		}
+	}
+}
+
+func TestSequentialWraps(t *testing.T) {
+	p := &SequentialPattern{}
+	rng := sim.NewRand(1)
+	seen := map[int64]bool{}
+	for i := 0; i < 20; i++ {
+		seen[p.Next(rng, 64, 8)] = true
+	}
+	if len(seen) != 8 {
+		t.Errorf("sequential over 8 slots visited %d distinct targets", len(seen))
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z := NewZipf(1000, 0.99)
+	rng := sim.NewRand(7)
+	counts := map[int64]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[z.Next(rng, 1000*8, 8)]++
+	}
+	// The hottest slot should absorb far more than the uniform share.
+	if counts[0] < n/200 {
+		t.Errorf("slot 0 got %d of %d; zipf skew missing", counts[0], n)
+	}
+	if counts[0] <= counts[8*500] {
+		t.Error("hot slot not hotter than the middle")
+	}
+}
+
+func TestTraceSerializeRoundTrip(t *testing.T) {
+	tr := SynthesizeTrace(50, NewZipf(100, 0.9), 0.7, 8, time.Millisecond, 100000, 3)
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Ops) != len(tr.Ops) {
+		t.Fatalf("ops %d != %d", len(back.Ops), len(tr.Ops))
+	}
+	for i := range tr.Ops {
+		a, b := tr.Ops[i], back.Ops[i]
+		// Serialization rounds to microseconds.
+		if a.At.Truncate(time.Microsecond) != b.At || a.Write != b.Write || a.LBA != b.LBA || a.Sectors != b.Sectors {
+			t.Fatalf("op %d: %+v != %+v", i, a, b)
+		}
+	}
+}
+
+func TestParseTraceRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"not a trace",
+		"100 X 5 1",
+		"-5 W 5 1",
+		"100 W -1 1",
+		"100 W 5 0",
+	}
+	for _, c := range cases {
+		if _, err := ParseTrace(strings.NewReader(c)); err == nil {
+			t.Errorf("accepted %q", c)
+		}
+	}
+	// Comments and blanks are fine.
+	ok := "# comment\n\n100 W 5 1\n"
+	tr, err := ParseTrace(strings.NewReader(ok))
+	if err != nil || len(tr.Ops) != 1 {
+		t.Errorf("valid trace rejected: %v", err)
+	}
+}
+
+func TestReplayAgainstBaseline(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Close()
+	dev := baseline(env)
+	tr := SynthesizeTrace(30, UniformPattern{}, 0.5, 4, 5*time.Millisecond, dev.Sectors(), 11)
+	res, err := Replay(env, dev, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reads.Count()+res.Writes.Count() != 30 {
+		t.Errorf("replayed %d+%d of 30", res.Reads.Count(), res.Writes.Count())
+	}
+	if res.Elapsed <= 0 {
+		t.Error("no elapsed time")
+	}
+}
+
+func TestReplayOpenLoopTiming(t *testing.T) {
+	// With huge gaps, each op is issued on schedule (no lag); elapsed
+	// tracks the trace length, not the device speed.
+	env := sim.NewEnv()
+	defer env.Close()
+	dev := baseline(env)
+	// Fixed 200 ms spacing (SynthesizeTrace's exponential gaps can dip
+	// below the device service time and legitimately lag).
+	tr := &Trace{}
+	for i := 0; i < 5; i++ {
+		tr.Ops = append(tr.Ops, TraceOp{
+			At: time.Duration(i) * 200 * time.Millisecond, Write: true, LBA: int64(i * 100), Sectors: 1,
+		})
+	}
+	res, err := Replay(env, dev, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lagged != 0 {
+		t.Errorf("lagged = %d with 200ms gaps", res.Lagged)
+	}
+	if res.Elapsed < tr.Ops[len(tr.Ops)-1].At {
+		t.Error("elapsed shorter than the trace span")
+	}
+}

@@ -1,0 +1,166 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"tracklog/internal/blockdev"
+	"tracklog/internal/disk"
+	"tracklog/internal/geom"
+	"tracklog/internal/sched"
+	"tracklog/internal/sim"
+	"tracklog/internal/stddisk"
+	"tracklog/internal/trail"
+)
+
+func baseline(env *sim.Env) blockdev.Device {
+	d := disk.New(env, disk.Params{
+		Name:            "base",
+		RPM:             6000,
+		Geom:            geom.Uniform(200, 2, 60),
+		SeekT2T:         time.Millisecond,
+		SeekAvg:         6 * time.Millisecond,
+		SeekMax:         12 * time.Millisecond,
+		HeadSwitch:      500 * time.Microsecond,
+		ReadOverhead:    300 * time.Microsecond,
+		WriteOverhead:   600 * time.Microsecond,
+		WriteSettle:     100 * time.Microsecond,
+		WriteTurnaround: time.Millisecond,
+	})
+	return stddisk.New(env, d, blockdev.DevID{Major: 3}, sched.LOOK)
+}
+
+func trailDev(t *testing.T, env *sim.Env) blockdev.Device {
+	t.Helper()
+	logP := disk.Params{
+		Name:            "log",
+		RPM:             6000,
+		Geom:            geom.Uniform(50, 2, 60),
+		SeekT2T:         800 * time.Microsecond,
+		SeekAvg:         4 * time.Millisecond,
+		SeekMax:         8 * time.Millisecond,
+		HeadSwitch:      400 * time.Microsecond,
+		ReadOverhead:    200 * time.Microsecond,
+		WriteOverhead:   500 * time.Microsecond,
+		WriteSettle:     100 * time.Microsecond,
+		WriteTurnaround: 600 * time.Microsecond,
+	}
+	lg := disk.New(env, logP)
+	if err := trail.Format(lg); err != nil {
+		t.Fatal(err)
+	}
+	dataP := logP
+	dataP.Name = "data"
+	dataP.Geom = geom.Uniform(200, 2, 60)
+	dd := disk.New(env, dataP)
+	drv, err := trail.NewDriver(env, lg, []*disk.Disk{dd}, trail.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return drv.Dev(0)
+}
+
+func TestSyncWritesBaseline(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Close()
+	dev := baseline(env)
+	res, err := RunSyncWrites(env, dev, SyncWriteConfig{
+		Mode: Clustered, WriteSize: 1024, Processes: 1, WritesPerProcess: 50, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Latency.Count() != 50 {
+		t.Errorf("samples = %d", res.Latency.Count())
+	}
+	if res.Latency.Mean() < 2*time.Millisecond {
+		t.Errorf("baseline mean %v suspiciously fast", res.Latency.Mean())
+	}
+	if res.Elapsed <= 0 {
+		t.Error("no elapsed time")
+	}
+}
+
+func TestTrailBeatsBaseline(t *testing.T) {
+	envB := sim.NewEnv()
+	defer envB.Close()
+	base, err := RunSyncWrites(envB, baseline(envB), SyncWriteConfig{
+		Mode: Sparse, WriteSize: 1024, WritesPerProcess: 50, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	envT := sim.NewEnv()
+	defer envT.Close()
+	tr, err := RunSyncWrites(envT, trailDev(t, envT), SyncWriteConfig{
+		Mode: Sparse, WriteSize: 1024, WritesPerProcess: 50, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Latency.Mean()*3 > base.Latency.Mean() {
+		t.Errorf("trail %v vs baseline %v: expected >=3x win", tr.Latency.Mean(), base.Latency.Mean())
+	}
+}
+
+func TestSparseVsClusteredOnTrail(t *testing.T) {
+	run := func(mode Mode) time.Duration {
+		env := sim.NewEnv()
+		defer env.Close()
+		res, err := RunSyncWrites(env, trailDev(t, env), SyncWriteConfig{
+			Mode: mode, WriteSize: 1024, WritesPerProcess: 60, Seed: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Latency.Mean()
+	}
+	sparse, clustered := run(Sparse), run(Clustered)
+	// Paper §5.1: clustered writes take longer than sparse on Trail
+	// because the track switch and turnaround are visible.
+	if clustered <= sparse {
+		t.Errorf("clustered %v <= sparse %v, want clustered slower", clustered, sparse)
+	}
+}
+
+func TestMultipleProcessesQueue(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Close()
+	dev := baseline(env)
+	res, err := RunSyncWrites(env, dev, SyncWriteConfig{
+		Mode: Clustered, WriteSize: 1024, Processes: 5, WritesPerProcess: 20, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Latency.Count() != 100 {
+		t.Errorf("samples = %d", res.Latency.Count())
+	}
+	// With five concurrent writers the queueing delay must raise mean
+	// latency versus a single writer.
+	envS := sim.NewEnv()
+	defer envS.Close()
+	single, err := RunSyncWrites(envS, baseline(envS), SyncWriteConfig{
+		Mode: Clustered, WriteSize: 1024, Processes: 1, WritesPerProcess: 20, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Latency.Mean() <= single.Latency.Mean() {
+		t.Errorf("5-process mean %v <= 1-process mean %v", res.Latency.Mean(), single.Latency.Mean())
+	}
+}
+
+func TestRejectsUnalignedSize(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Close()
+	if _, err := RunSyncWrites(env, baseline(env), SyncWriteConfig{WriteSize: 1000}); err == nil {
+		t.Error("unaligned write size accepted")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Sparse.String() != "sparse" || Clustered.String() != "clustered" {
+		t.Error("mode strings wrong")
+	}
+}

@@ -1,0 +1,170 @@
+package tracklog_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"tracklog"
+)
+
+func TestSystemWriteReadRoundTrip(t *testing.T) {
+	sys, err := tracklog.NewSystem(tracklog.SystemConfig{DataDisks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	want := bytes.Repeat([]byte{0x42}, 8*tracklog.SectorSize)
+	var got []byte
+	sys.Go("client", func(p *tracklog.Proc) {
+		dev := sys.Trail.Dev(1)
+		if err := dev.Write(p, 4096, 8, want); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		got, err = dev.Read(p, 4096, 8)
+		if err != nil {
+			t.Errorf("read: %v", err)
+		}
+	})
+	sys.Run()
+	if !bytes.Equal(got, want) {
+		t.Error("round trip mismatch")
+	}
+}
+
+func TestSystemSyncWriteLatency(t *testing.T) {
+	sys, err := tracklog.NewSystem(tracklog.SystemConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	var lat time.Duration
+	sys.Go("client", func(p *tracklog.Proc) {
+		dev := sys.Trail.Dev(0)
+		dev.Write(p, 0, 2, make([]byte, 2*tracklog.SectorSize)) // warm reference
+		p.Sleep(20 * time.Millisecond)
+		start := p.Now()
+		dev.Write(p, 10000, 2, make([]byte, 2*tracklog.SectorSize))
+		lat = p.Now().Sub(start)
+	})
+	sys.Run()
+	// The headline: a synchronous write in ~transfer + command overhead.
+	if lat > 2*time.Millisecond {
+		t.Errorf("1KB sync write = %v, want < 2ms", lat)
+	}
+}
+
+func TestSystemCrashRecoverCycle(t *testing.T) {
+	sys, err := tracklog.NewSystem(tracklog.SystemConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bytes.Repeat([]byte{7}, tracklog.SectorSize)
+	logged := false
+	sys.Go("client", func(p *tracklog.Proc) {
+		if err := sys.Trail.Dev(0).Write(p, 123, 1, want); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		logged = true
+	})
+	// Run just past the log write, then cut power before write-back.
+	for i := 0; i < 100 && !logged; i++ {
+		sys.RunUntil(sys.Env.Now().Add(time.Millisecond))
+	}
+	if !logged {
+		t.Fatal("write never became durable")
+	}
+	sys.Crash()
+
+	recovered, rep, err := sys.Recover(tracklog.RecoverOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recovered.Close()
+	if rep.Clean || rep.RecordsFound == 0 {
+		t.Fatalf("report %+v", rep)
+	}
+	var got []byte
+	recovered.Go("client", func(p *tracklog.Proc) {
+		got, err = recovered.Trail.Dev(0).Read(p, 123, 1)
+		if err != nil {
+			t.Errorf("read: %v", err)
+		}
+	})
+	recovered.Run()
+	if !bytes.Equal(got, want) {
+		t.Error("data lost across crash")
+	}
+}
+
+func TestStandardDeviceBaseline(t *testing.T) {
+	env := tracklog.NewEnv()
+	defer env.Close()
+	d := tracklog.NewDisk(env, tracklog.WDCaviar())
+	dev := tracklog.NewStandardDevice(env, d, tracklog.DevID{Major: 3})
+	var lat time.Duration
+	env.Go("client", func(p *tracklog.Proc) {
+		start := p.Now()
+		if err := dev.Write(p, 999999, 2, make([]byte, 2*tracklog.SectorSize)); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		lat = p.Now().Sub(start)
+	})
+	env.Run()
+	if lat < 5*time.Millisecond {
+		t.Errorf("baseline write %v suspiciously fast", lat)
+	}
+}
+
+func TestDriveProfiles(t *testing.T) {
+	st := tracklog.ST41601N()
+	if st.Geom.TotalTracks() != 35717 {
+		t.Error("ST41601N track count wrong")
+	}
+	wd := tracklog.WDCaviar()
+	if wd.Geom.TotalTracks() < 100000 {
+		t.Error("WDCaviar track count wrong")
+	}
+}
+
+func TestSystemMultiLog(t *testing.T) {
+	sys, err := tracklog.NewSystem(tracklog.SystemConfig{LogDisks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.LogDisks) != 2 || sys.Trail.NumLogDisks() != 2 {
+		t.Fatalf("log disks = %d", len(sys.LogDisks))
+	}
+	logged := false
+	sys.Go("client", func(p *tracklog.Proc) {
+		for i := 0; i < 6; i++ {
+			if err := sys.Trail.Dev(0).Write(p, int64(i*64), 1, make([]byte, tracklog.SectorSize)); err != nil {
+				t.Errorf("write: %v", err)
+			}
+		}
+		logged = true
+	})
+	for i := 0; i < 200 && !logged; i++ {
+		sys.RunUntil(sys.Env.Now().Add(time.Millisecond))
+	}
+	if !logged {
+		t.Fatal("writes never completed")
+	}
+	sys.Crash()
+	recovered, rep, err := sys.Recover(tracklog.RecoverOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recovered.Close()
+	if rep.Clean {
+		t.Error("multi-log crash reported clean")
+	}
+	var got []byte
+	recovered.Go("reader", func(p *tracklog.Proc) {
+		got, err = recovered.Trail.Dev(0).Read(p, 0, 1)
+	})
+	recovered.Run()
+	if err != nil || len(got) != tracklog.SectorSize {
+		t.Errorf("read after multi-log recovery: %v", err)
+	}
+}
