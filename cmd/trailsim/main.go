@@ -8,6 +8,8 @@
 //	         [-procs N] [-writes N] [-seed N]
 //	trailsim -pattern uniform|sequential|zipf [-write-ratio R]   # synthetic trace
 //	trailsim -trace FILE                                         # replay a trace file
+//	trailsim -faults latent=3,timeout=1 [-fault-seed N]          # inject media faults
+//	trailsim -faulttol [-faults SCENARIO]                        # 3-system fault comparison
 package main
 
 import (
@@ -18,6 +20,9 @@ import (
 
 	"tracklog/internal/blockdev"
 	"tracklog/internal/disk"
+	"tracklog/internal/experiments"
+	"tracklog/internal/fault"
+	"tracklog/internal/metrics"
 	"tracklog/internal/sched"
 	"tracklog/internal/sim"
 	"tracklog/internal/stddisk"
@@ -35,21 +40,47 @@ func main() {
 	traceFile := flag.String("trace", "", "replay an I/O trace file instead of the synthetic workload")
 	pattern := flag.String("pattern", "", "synthesize-and-replay with this target pattern: uniform, sequential, zipf")
 	writeRatio := flag.Float64("write-ratio", 0.7, "write fraction for -pattern traces")
+	faults := flag.String("faults", "", "fault scenario to inject on every drive (key=value terms, e.g. latent=3,timeout=1; see internal/fault)")
+	faultSeed := flag.Uint64("fault-seed", 0, "seed for fault sampling (default: -seed)")
+	faultTol := flag.Bool("faulttol", false, "run the standard/trail/raid5 fault-tolerance comparison under -faults")
 	flag.Parse()
+	if *faultSeed == 0 {
+		*faultSeed = *seed
+	}
 
 	var err error
 	switch {
+	case *faultTol:
+		err = runFaultTol(*faults, *writes, *faultSeed)
 	case *traceFile != "":
 		err = runTraceFile(*system, *traceFile)
 	case *pattern != "":
 		err = runPattern(*system, *pattern, *writes, *size, *writeRatio, *seed)
 	default:
-		err = run(*system, *mode, *size, *procs, *writes, *seed)
+		err = run(*system, *mode, *size, *procs, *writes, *seed, *faults, *faultSeed)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "trailsim:", err)
 		os.Exit(1)
 	}
+}
+
+// runFaultTol runs the three-system comparison under the scenario (the
+// ISSUE's default when none is given).
+func runFaultTol(scenario string, writes int, seed uint64) error {
+	if scenario == "" {
+		scenario = "latent=3,timeout=1"
+	}
+	cfg, err := fault.ParseScenario(scenario)
+	if err != nil {
+		return err
+	}
+	res, err := experiments.FaultTolerance(writes, seed, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res)
+	return nil
 }
 
 // buildDevice assembles the chosen storage system on a fresh environment.
@@ -134,9 +165,24 @@ func printReplay(system, source string, res *workload.ReplayResult) {
 	fmt.Printf("elapsed %v, %d ops issued late\n", res.Elapsed, res.Lagged)
 }
 
-func run(system, mode string, size, procs, writes int, seed uint64) error {
+func run(system, mode string, size, procs, writes int, seed uint64, scenario string, faultSeed uint64) error {
 	env := sim.NewEnv()
 	defer env.Close()
+
+	var cfg fault.Config
+	if scenario != "" {
+		var err error
+		if cfg, err = fault.ParseScenario(scenario); err != nil {
+			return err
+		}
+	}
+	frng := sim.NewRand(faultSeed)
+	var plans []*fault.Plan
+	attach := func(d *disk.Disk) {
+		if scenario != "" {
+			plans = append(plans, fault.Attach(d, frng, cfg))
+		}
+	}
 
 	var dev blockdev.Device
 	var drv *trail.Driver
@@ -147,6 +193,8 @@ func run(system, mode string, size, procs, writes int, seed uint64) error {
 			return err
 		}
 		data := disk.New(env, disk.WDCaviar())
+		attach(log)
+		attach(data)
 		var err error
 		drv, err = trail.NewDriver(env, log, []*disk.Disk{data}, trail.Config{})
 		if err != nil {
@@ -155,6 +203,7 @@ func run(system, mode string, size, procs, writes int, seed uint64) error {
 		dev = drv.Dev(0)
 	case "std":
 		d := disk.New(env, disk.WDCaviar())
+		attach(d)
 		dev = stddisk.New(env, d, blockdev.DevID{Major: 3}, sched.LOOK)
 	default:
 		return fmt.Errorf("unknown system %q", system)
@@ -185,6 +234,16 @@ func run(system, mode string, size, procs, writes int, seed uint64) error {
 		s := drv.Stats()
 		fmt.Printf("trail: %d records for %d writes (batching %.2fx), %d repositions, avg track util %.1f%%\n",
 			s.Records, s.Writes, float64(s.Writes)/float64(s.Records), s.Repositions, 100*s.AvgTrackUtilization())
+	}
+	if len(plans) > 0 {
+		agg := metrics.NewCounters()
+		for _, pl := range plans {
+			agg.Merge(pl.Stats().Counters())
+		}
+		if drv != nil {
+			agg.Merge(drv.Stats().FaultCounters())
+		}
+		fmt.Printf("faults (%s):\n%s\n", scenario, agg)
 	}
 	return nil
 }

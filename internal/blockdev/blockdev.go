@@ -18,6 +18,33 @@ import (
 // ErrOutOfRange reports an access outside the device.
 var ErrOutOfRange = errors.New("blockdev: access outside device")
 
+// Sentinel error taxonomy for device failures. Every layer wraps these with
+// context (device, LBA, attempt count) but callers MUST classify with
+// errors.Is against the sentinels below — never by string matching — so that
+// wrapping depth and message wording stay free to change.
+var (
+	// ErrMediaError reports a latent sector error: the addressed sector is
+	// unreadable (or unwritable) while the rest of the device keeps working.
+	// Reads of other sectors succeed; a successful rewrite of the sector
+	// (after reconstructing its contents elsewhere) typically repairs it,
+	// which is what RAID scrubbing exploits. Persistent for an LBA until
+	// repaired.
+	ErrMediaError = errors.New("blockdev: unrecoverable media error")
+	// ErrTimeout reports a transient command failure: the command was lost
+	// (no media effect for writes, no data for reads) but the device is
+	// healthy. Retrying the command is expected to succeed; drivers apply
+	// bounded retry-with-reposition on it.
+	ErrTimeout = errors.New("blockdev: command timeout")
+	// ErrDeviceFailed reports whole-device loss: every subsequent command on
+	// the device fails. Not retryable; redundancy layers (RAID) must
+	// reconstruct from surviving devices.
+	ErrDeviceFailed = errors.New("blockdev: device failed")
+)
+
+// IsTransient reports whether err is worth retrying on the same device
+// (classified via errors.Is, per the taxonomy contract).
+func IsTransient(err error) bool { return errors.Is(err, ErrTimeout) }
+
 // DevID names a data disk the way the paper's record headers do, with the
 // Unix major/minor device pair.
 type DevID struct {

@@ -157,6 +157,15 @@ type Result struct {
 	Start, End sim.Time
 	// Component breakdown; these sum (with Transfer) to End-Start.
 	Turnaround, Overhead, Seek, Switch, Settle, Rotate, Transfer time.Duration
+	// Err is non-nil when the command failed (fault injection): it wraps one
+	// of the blockdev sentinel errors (ErrMediaError, ErrTimeout,
+	// ErrDeviceFailed), classified via errors.Is. Timing fields still
+	// account for the virtual time the failed command occupied the drive.
+	Err error
+	// Transferred counts the sectors fully transferred before a failure
+	// (== Count on success). For a media error, Transferred also indexes the
+	// failing sector: its LBA is request LBA + Transferred.
+	Transferred int
 }
 
 // Latency returns the command's total service time.
@@ -170,6 +179,37 @@ type Stats struct {
 	Busy                        time.Duration
 	SeekTime, RotateTime        time.Duration
 	TransferTime                time.Duration
+	// Errors counts commands that completed with a fault.
+	Errors int64
+}
+
+// CommandFault is an injector's verdict on a whole command, taken before any
+// media transfer.
+type CommandFault struct {
+	// Err aborts the command when non-nil (wrapping a blockdev sentinel).
+	Err error
+	// Delay is the virtual time the drive spends discovering the fault (a
+	// timeout's expiry, a dead controller's bus settle). Only used when Err
+	// is non-nil.
+	Delay time.Duration
+}
+
+// Injector lets a fault plan intercept drive commands (see internal/fault).
+// The drive consults it once per command and once per sector transferred; a
+// nil injector means a fault-free drive. Implementations must be
+// deterministic functions of (virtual time, command history) so simulations
+// stay bit-reproducible.
+type Injector interface {
+	// CommandFault is consulted when the command reaches the drive (after
+	// queueing, before any positioning).
+	CommandFault(now sim.Time, write bool, lba int64, count int) CommandFault
+	// SectorFault is consulted as the head passes each sector; a non-nil
+	// error (wrapping blockdev.ErrMediaError) aborts the command there. For
+	// writes, the failing sector is not persisted; earlier ones are.
+	SectorFault(now sim.Time, write bool, lba int64) error
+	// SectorWritten reports a successfully persisted sector, letting the
+	// plan model write-heals of latent read errors (sector remapping).
+	SectorWritten(lba int64)
 }
 
 // Disk is a simulated drive. Create with New; all methods must be called
@@ -188,6 +228,7 @@ type Disk struct {
 
 	media map[int64][]byte
 	stats Stats
+	inj   Injector
 }
 
 // New returns a drive with the given parameters bound to env. It panics on
@@ -222,6 +263,14 @@ func (d *Disk) Stats() Stats { return d.stats }
 
 // ResetStats zeroes the activity counters.
 func (d *Disk) ResetStats() { d.stats = Stats{} }
+
+// SetInjector attaches (or with nil, detaches) a fault injector. Injected
+// faults are media/device state, so like media contents they survive
+// Reattach across a simulated crash.
+func (d *Disk) SetInjector(inj Injector) { d.inj = inj }
+
+// Injector returns the attached fault injector, or nil.
+func (d *Disk) Injector() Injector { return d.inj }
 
 // Reattach rebinds the drive to a fresh environment after a simulated crash
 // and reboot. Media contents survive; arm position is arbitrary (we keep it)
@@ -322,6 +371,21 @@ func (d *Disk) Access(p *sim.Proc, req *Request) Result {
 	var res Result
 	res.Start = p.Now()
 
+	// Whole-command faults: a dead device or a transient timeout aborts the
+	// command before the media phase, after charging the discovery delay.
+	if d.inj != nil {
+		if f := d.inj.CommandFault(p.Now(), req.Write, req.LBA, req.Count); f.Err != nil {
+			if f.Delay > 0 {
+				p.Sleep(f.Delay)
+			}
+			res.Err = fmt.Errorf("disk %s: %w", d.params.Name, f.Err)
+			res.End = p.Now()
+			d.lastCmdEnd = res.End
+			d.accumulate(req, res)
+			return res
+		}
+	}
+
 	// Write turnaround: the drive cannot begin processing a write until
 	// WriteTurnaround after the previous command completed.
 	if req.Write && d.lastCmdEnd > 0 {
@@ -391,8 +455,25 @@ func (d *Disk) Access(p *sim.Proc, req *Request) Result {
 			res.Transfer += secTime
 			off := (req.Count - remaining + i) * geom.SectorSize
 			cur := lba + int64(i)
+			// Latent sector errors surface as the head passes the sector;
+			// the command aborts there, leaving earlier sectors transferred
+			// (for writes: persisted — the torn-write semantics recovery
+			// must tolerate).
+			if d.inj != nil {
+				if err := d.inj.SectorFault(p.Now(), req.Write, cur); err != nil {
+					res.Err = fmt.Errorf("disk %s: lba %d: %w", d.params.Name, cur, err)
+					res.Transferred = req.Count - remaining + i
+					res.End = p.Now()
+					d.lastCmdEnd = res.End
+					d.accumulate(req, res)
+					return res
+				}
+			}
 			if req.Write {
 				d.writeSector(cur, buf[off:off+geom.SectorSize])
+				if d.inj != nil {
+					d.inj.SectorWritten(cur)
+				}
 			} else {
 				d.readSector(cur, buf[off:off+geom.SectorSize])
 			}
@@ -401,6 +482,7 @@ func (d *Disk) Access(p *sim.Proc, req *Request) Result {
 		remaining -= extent
 	}
 
+	res.Transferred = req.Count
 	res.End = p.Now()
 	d.lastCmdEnd = res.End
 	d.accumulate(req, res)
@@ -408,12 +490,15 @@ func (d *Disk) Access(p *sim.Proc, req *Request) Result {
 }
 
 func (d *Disk) accumulate(req *Request, res Result) {
+	if res.Err != nil {
+		d.stats.Errors++
+	}
 	if req.Write {
 		d.stats.Writes++
-		d.stats.SectorsWritten += int64(req.Count)
+		d.stats.SectorsWritten += int64(res.Transferred)
 	} else {
 		d.stats.Reads++
-		d.stats.SectorsRead += int64(req.Count)
+		d.stats.SectorsRead += int64(res.Transferred)
 	}
 	d.stats.Busy += res.Latency()
 	d.stats.SeekTime += res.Seek + res.Switch

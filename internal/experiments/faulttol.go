@@ -1,0 +1,251 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"time"
+
+	"tracklog/internal/blockdev"
+	"tracklog/internal/disk"
+	"tracklog/internal/fault"
+	"tracklog/internal/geom"
+	"tracklog/internal/metrics"
+	"tracklog/internal/raid"
+	"tracklog/internal/sched"
+	"tracklog/internal/sim"
+	"tracklog/internal/stddisk"
+	"tracklog/internal/trail"
+)
+
+// faultRegion bounds the workload (and, by default, the sampled fault
+// locations) so injected latent errors actually land in sectors the workload
+// touches.
+const faultRegion = 4096
+
+// FaultRow is one system's outcome under an injected fault scenario.
+type FaultRow struct {
+	System string
+	// Writes/Reads are operations attempted; WriteErrors/ReadErrors are the
+	// ones surfaced to the client as failures after the system's own
+	// retries/redundancy were exhausted.
+	Writes, Reads           int
+	WriteErrors, ReadErrors int
+	// CorruptReads counts reads that "succeeded" but returned wrong bytes —
+	// silent data loss, the worst outcome.
+	CorruptReads int
+	MeanWrite    time.Duration
+	// Counters merges the injection plan's trigger counts with the system's
+	// own fault-handling telemetry.
+	Counters *metrics.Counters
+}
+
+// FaultToleranceResult compares how the standard subsystem, Trail, and a
+// RAID-5 array ride out the same deterministic fault scenario.
+type FaultToleranceResult struct {
+	Scenario string
+	Rows     []FaultRow
+}
+
+// FaultTolerance runs a seeded mixed read/write workload against the three
+// systems while the same seeded fault scenario plays out on their drives:
+// the standard subsystem and Trail get the plan on their data disk (Trail
+// additionally on its log disk, since that is where its writes land), and
+// the RAID-5 array gets it on one member device.
+//
+// Everything — workload addresses, payloads, fault locations, onset times —
+// derives from seed via sim.Rand in virtual time, so two runs with the same
+// arguments produce byte-identical results.
+func FaultTolerance(writes int, seed uint64, cfg fault.Config) (*FaultToleranceResult, error) {
+	if writes == 0 {
+		writes = 1000
+	}
+	if cfg.MaxLBA == 0 {
+		cfg.MaxLBA = faultRegion
+	}
+	res := &FaultToleranceResult{Scenario: scenarioString(cfg)}
+	for _, system := range []string{"standard", "trail", "raid5"} {
+		row, err := faultToleranceRun(system, writes, seed, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fault tolerance %s: %w", system, err)
+		}
+		res.Rows = append(res.Rows, *row)
+	}
+	return res, nil
+}
+
+// faultToleranceRun builds one system with the scenario attached and drives
+// the workload against it.
+func faultToleranceRun(system string, writes int, seed uint64, cfg fault.Config) (*FaultRow, error) {
+	env := sim.NewEnv()
+	defer env.Close()
+	planRng := sim.NewRand(seed)
+
+	var dev blockdev.Device
+	var plans []*fault.Plan
+	var sysCounters func() *metrics.Counters
+	switch system {
+	case "standard":
+		d := disk.New(env, disk.WDCaviar())
+		plans = append(plans, fault.Attach(d, planRng, cfg))
+		sd := stddisk.New(env, d, blockdev.DevID{Major: 3}, sched.LOOK)
+		dev = sd
+		sysCounters = func() *metrics.Counters {
+			c := metrics.NewCounters()
+			s := sd.Stats()
+			c.Set("stddisk.retries", s.Retries)
+			c.Set("stddisk.failures", s.Failures)
+			return c
+		}
+	case "trail":
+		lg := disk.New(env, disk.ST41601N())
+		if err := trail.Format(lg); err != nil {
+			return nil, err
+		}
+		data := disk.New(env, disk.WDCaviar())
+		plans = append(plans,
+			fault.Attach(lg, planRng, cfg),
+			fault.Attach(data, planRng, cfg))
+		drv, err := trail.NewDriver(env, lg, []*disk.Disk{data}, DefaultTrailConfig())
+		if err != nil {
+			return nil, err
+		}
+		dev = drv.Dev(0)
+		sysCounters = func() *metrics.Counters { return drv.Stats().FaultCounters() }
+	case "raid5":
+		var devs []blockdev.Device
+		for i := 0; i < 4; i++ {
+			d := disk.New(env, disk.WDCaviar())
+			if i == 0 {
+				plans = append(plans, fault.Attach(d, planRng, cfg))
+			}
+			devs = append(devs, stddisk.New(env, d, blockdev.DevID{Major: 9, Minor: uint8(i)}, sched.LOOK))
+		}
+		a, err := raid.New(devs, 8)
+		if err != nil {
+			return nil, err
+		}
+		dev = raidDevice{a}
+		sysCounters = func() *metrics.Counters { return a.Stats().Counters() }
+	default:
+		return nil, fmt.Errorf("unknown system %q", system)
+	}
+
+	row := &FaultRow{System: system}
+	lat := metrics.NewSummary()
+	rng := sim.NewRand(seed + 1)
+	const extent = 8
+	slots := int64(faultRegion / extent)
+	written := make(map[int64]bool)
+	env.Go("workload", func(p *sim.Proc) {
+		for i := 0; i < writes; i++ {
+			lba := rng.Int64n(slots) * extent
+			row.Writes++
+			start := p.Now()
+			err := dev.Write(p, lba, extent, payload(lba, extent))
+			lat.Add(p.Now().Sub(start))
+			if err != nil {
+				row.WriteErrors++
+			} else {
+				written[lba] = true
+			}
+			// Read back an earlier write every few operations so latent
+			// read errors on the data path actually surface.
+			if i%4 == 3 {
+				rb := rng.Int64n(slots) * extent
+				if !written[rb] {
+					continue
+				}
+				row.Reads++
+				got, err := dev.Read(p, rb, extent)
+				switch {
+				case err != nil:
+					row.ReadErrors++
+				case !bytes.Equal(got, payload(rb, extent)):
+					row.CorruptReads++
+				}
+			}
+			p.Sleep(2 * time.Millisecond)
+		}
+	})
+	env.Run()
+
+	row.MeanWrite = lat.Mean()
+	row.Counters = metrics.NewCounters()
+	for _, plan := range plans {
+		row.Counters.Merge(plan.Stats().Counters())
+	}
+	row.Counters.Merge(sysCounters())
+	return row, nil
+}
+
+// raidDevice adapts *raid.Array to the subset of blockdev.Device the
+// workload uses.
+type raidDevice struct{ a *raid.Array }
+
+func (r raidDevice) Read(p *sim.Proc, lba int64, count int) ([]byte, error) {
+	return r.a.Read(p, lba, count)
+}
+
+func (r raidDevice) Write(p *sim.Proc, lba int64, count int, data []byte) error {
+	return r.a.Write(p, lba, count, data)
+}
+
+func (r raidDevice) Sectors() int64     { return r.a.Sectors() }
+func (r raidDevice) ID() blockdev.DevID { return blockdev.DevID{Major: 9} }
+
+// payload derives a deterministic sector payload from the LBA so read-backs
+// can detect corruption without bookkeeping.
+func payload(lba int64, count int) []byte {
+	buf := make([]byte, count*geom.SectorSize)
+	for s := 0; s < count; s++ {
+		b := byte((lba+int64(s))*131 + 7)
+		for i := range buf[s*geom.SectorSize : (s+1)*geom.SectorSize] {
+			buf[s*geom.SectorSize+i] = b + byte(i)
+		}
+	}
+	return buf
+}
+
+// scenarioString renders the scenario compactly for the report header.
+func scenarioString(cfg fault.Config) string {
+	var terms []string
+	add := func(k string, v interface{}) { terms = append(terms, fmt.Sprintf("%s=%v", k, v)) }
+	if cfg.LatentReadErrors > 0 {
+		add("latent", cfg.LatentReadErrors)
+	}
+	if cfg.LatentWriteErrors > 0 {
+		add("wlatent", cfg.LatentWriteErrors)
+	}
+	if cfg.LatentOnsetWindow > 0 {
+		add("onset", cfg.LatentOnsetWindow)
+	}
+	if cfg.Timeouts > 0 {
+		add("timeout", cfg.Timeouts)
+	}
+	if cfg.GrowingRegion > 0 {
+		add("grow", cfg.GrowingRegion)
+	}
+	if cfg.FailAt > 0 {
+		add("failat", cfg.FailAt)
+	}
+	add("maxlba", cfg.MaxLBA)
+	return strings.Join(terms, ",")
+}
+
+// String renders the comparison.
+func (r *FaultToleranceResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fault tolerance under scenario %s\n", r.Scenario)
+	fmt.Fprintf(&b, "%-10s %7s %7s %7s %7s %8s %13s\n",
+		"system", "writes", "w-errs", "reads", "r-errs", "corrupt", "mean write")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-10s %7d %7d %7d %7d %8d %10s ms\n",
+			row.System, row.Writes, row.WriteErrors, row.Reads, row.ReadErrors,
+			row.CorruptReads, fmtMS(row.MeanWrite))
+	}
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "[%s]\n%s\n", row.System, row.Counters)
+	}
+	return b.String()
+}

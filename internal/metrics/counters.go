@@ -1,0 +1,77 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Counters is a small named-counter set used to export fault, retry, and
+// reconstruction telemetry from the storage layers in one uniform shape.
+// Iteration and rendering order is sorted by name, so String output is
+// deterministic and can be compared byte-for-byte across runs.
+type Counters struct {
+	vals map[string]int64
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters {
+	return &Counters{vals: make(map[string]int64)}
+}
+
+// Add increments the named counter by n (creating it at zero).
+func (c *Counters) Add(name string, n int64) {
+	c.vals[name] += n
+}
+
+// Set forces the named counter to v.
+func (c *Counters) Set(name string, v int64) {
+	c.vals[name] = v
+}
+
+// Get returns the named counter (zero if never touched).
+func (c *Counters) Get(name string) int64 { return c.vals[name] }
+
+// Names returns the counter names in sorted order.
+func (c *Counters) Names() []string {
+	names := make([]string, 0, len(c.vals))
+	for n := range c.vals {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Merge folds other into c.
+func (c *Counters) Merge(other *Counters) {
+	if other == nil {
+		return
+	}
+	for n, v := range other.vals {
+		c.vals[n] += v
+	}
+}
+
+// Total sums every counter.
+func (c *Counters) Total() int64 {
+	var t int64
+	for _, v := range c.vals {
+		t += v
+	}
+	return t
+}
+
+// String renders "name=value" pairs sorted by name.
+func (c *Counters) String() string {
+	var b strings.Builder
+	for i, n := range c.Names() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", n, c.vals[n])
+	}
+	if b.Len() == 0 {
+		return "(none)"
+	}
+	return b.String()
+}

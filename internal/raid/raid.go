@@ -15,6 +15,7 @@ import (
 
 	"tracklog/internal/blockdev"
 	"tracklog/internal/geom"
+	"tracklog/internal/metrics"
 	"tracklog/internal/sim"
 )
 
@@ -37,7 +38,19 @@ type Array struct {
 	devs   []blockdev.Device
 	chunk  int // chunk size in sectors
 	failed int // index of the failed device, or -1
-	stats  Stats
+	// bad tracks per-device sectors whose last write failed with a media
+	// error: the platter holds stale data there, so reads of those sectors
+	// must reconstruct from parity and the scrubber keeps trying to repair
+	// them by rewrite.
+	bad   []map[int64]bool
+	stats Stats
+	// Per-stripe serialization. A small write's parity read-modify-write is
+	// only correct if no other update touches the stripe between the reads
+	// and the writes, and a reconstructing read is only correct against a
+	// parity-consistent stripe. locked holds the stripe indices currently
+	// owned by an in-flight operation; lockC wakes the waiters.
+	locked map[int64]bool
+	lockC  *sim.Cond
 }
 
 // Stats counts array activity.
@@ -46,6 +59,31 @@ type Stats struct {
 	SmallWrites, FullStripes       int64
 	DeviceReads, DeviceWrites      int64
 	DegradedReads, Reconstructions int64
+	// Fault handling: MediaErrorReads/MediaErrorWrites count device
+	// commands that hit unreadable/unwritable sectors; DeviceFailures
+	// counts devices dropped from the array (manually or on
+	// blockdev.ErrDeviceFailed). Scrub* count background scrubber work.
+	MediaErrorReads   int64
+	MediaErrorWrites  int64
+	DeviceFailures    int64
+	ScrubPasses       int64
+	ScrubRepaired     int64
+	ScrubUnrepairable int64
+}
+
+// Counters exports the array's fault/repair telemetry as a metrics counter
+// set (deterministic rendering order).
+func (s Stats) Counters() *metrics.Counters {
+	c := metrics.NewCounters()
+	c.Set("raid.degraded_reads", s.DegradedReads)
+	c.Set("raid.reconstructions", s.Reconstructions)
+	c.Set("raid.media_error_reads", s.MediaErrorReads)
+	c.Set("raid.media_error_writes", s.MediaErrorWrites)
+	c.Set("raid.device_failures", s.DeviceFailures)
+	c.Set("raid.scrub_passes", s.ScrubPasses)
+	c.Set("raid.scrub_repaired", s.ScrubRepaired)
+	c.Set("raid.scrub_unrepairable", s.ScrubUnrepairable)
+	return c
 }
 
 // New builds an array over devs (>= 3, equal sizes) with the given chunk
@@ -62,7 +100,12 @@ func New(devs []blockdev.Device, chunkSectors int) (*Array, error) {
 			return nil, fmt.Errorf("%w: mismatched device sizes", ErrBadArray)
 		}
 	}
-	return &Array{devs: devs, chunk: chunkSectors, failed: -1}, nil
+	return &Array{
+		devs:   devs,
+		chunk:  chunkSectors,
+		failed: -1,
+		bad:    make([]map[int64]bool, len(devs)),
+	}, nil
 }
 
 // Sectors returns the logical capacity.
@@ -73,13 +116,61 @@ func (a *Array) Sectors() int64 {
 // Stats returns a copy of the counters.
 func (a *Array) Stats() Stats { return a.stats }
 
-// Fail marks one device as dead; reads reconstruct from the survivors.
+// Fail marks one device as dead; reads reconstruct from the survivors. The
+// array also calls this itself when a device command returns
+// blockdev.ErrDeviceFailed.
 func (a *Array) Fail(dev int) error {
 	if a.failed >= 0 && a.failed != dev {
-		return ErrDegradedTwice
+		return fmt.Errorf("%w: device %d failed while %d already down", ErrDegradedTwice, dev, a.failed)
+	}
+	if a.failed != dev {
+		a.stats.DeviceFailures++
 	}
 	a.failed = dev
 	return nil
+}
+
+// Failed returns the index of the failed device, or -1.
+func (a *Array) Failed() int { return a.failed }
+
+// BadSectors returns the number of known-unwritable sectors across all
+// devices (their contents live only in parity until a rewrite succeeds).
+func (a *Array) BadSectors() int {
+	n := 0
+	for _, m := range a.bad {
+		n += len(m)
+	}
+	return n
+}
+
+func (a *Array) markBad(dev int, lba int64) {
+	if a.bad[dev] == nil {
+		a.bad[dev] = make(map[int64]bool)
+	}
+	a.bad[dev][lba] = true
+}
+
+func (a *Array) clearBad(dev int, lba int64, count int) {
+	m := a.bad[dev]
+	if len(m) == 0 {
+		return
+	}
+	for i := 0; i < count; i++ {
+		delete(m, lba+int64(i))
+	}
+}
+
+func (a *Array) anyBad(dev int, lba int64, count int) bool {
+	m := a.bad[dev]
+	if len(m) == 0 {
+		return false
+	}
+	for i := 0; i < count; i++ {
+		if m[lba+int64(i)] {
+			return true
+		}
+	}
+	return false
 }
 
 // chunkLoc maps a logical chunk index to (device, chunk-on-device, stripe).
@@ -98,41 +189,126 @@ func (a *Array) chunkLoc(logical int64) (dev int, devChunk int64, stripe int64) 
 // parityDev returns the parity device of a stripe.
 func (a *Array) parityDev(stripe int64) int { return int(stripe % int64(len(a.devs))) }
 
+// lockStripe blocks p until it owns stripe. Operations hold at most one
+// stripe lock at a time, so there is no lock ordering to get wrong.
+func (a *Array) lockStripe(p *sim.Proc, stripe int64) {
+	if a.lockC == nil {
+		a.locked = make(map[int64]bool)
+		a.lockC = sim.NewCond(p.Env())
+	}
+	for a.locked[stripe] {
+		a.lockC.Wait(p)
+	}
+	a.locked[stripe] = true
+}
+
+func (a *Array) unlockStripe(stripe int64) {
+	delete(a.locked, stripe)
+	a.lockC.Broadcast()
+}
+
 // devRead reads a chunk-relative sector range from one device,
-// reconstructing from the other devices when it has failed.
+// reconstructing from the other devices when the device has failed, the
+// range covers a known-unwritable sector (stale on the platter), or the read
+// itself hits a media error. A device answering with
+// blockdev.ErrDeviceFailed is dropped from the array on the spot.
 func (a *Array) devRead(p *sim.Proc, dev int, devChunk int64, off, count int) ([]byte, error) {
 	lba := devChunk*int64(a.chunk) + int64(off)
-	if dev != a.failed {
-		a.stats.DeviceReads++
-		return a.devs[dev].Read(p, lba, count)
+	if dev == a.failed || a.anyBad(dev, lba, count) {
+		a.stats.DegradedReads++
+		return a.reconstruct(p, dev, lba, count)
 	}
-	// Degraded: XOR every surviving device's corresponding range.
-	a.stats.DegradedReads++
+	a.stats.DeviceReads++
+	buf, err := a.devs[dev].Read(p, lba, count)
+	switch {
+	case err == nil:
+		return buf, nil
+	case errors.Is(err, blockdev.ErrDeviceFailed):
+		if ferr := a.Fail(dev); ferr != nil {
+			return nil, ferr
+		}
+		a.stats.DegradedReads++
+	case errors.Is(err, blockdev.ErrMediaError):
+		a.stats.MediaErrorReads++
+	default:
+		return nil, err
+	}
+	return a.reconstruct(p, dev, lba, count)
+}
+
+// reconstruct rebuilds count sectors of device dev starting at device LBA
+// lba by XOR-ing the same rows of every other device (all chunks of a stripe
+// occupy the same device rows, so the XOR across all devices of any row is
+// zero). A second unreadable copy in the range is a genuine double fault and
+// surfaces as an error.
+func (a *Array) reconstruct(p *sim.Proc, dev int, lba int64, count int) ([]byte, error) {
 	a.stats.Reconstructions++
 	out := make([]byte, count*geom.SectorSize)
 	for i, d := range a.devs {
 		if i == dev {
 			continue
 		}
+		if i == a.failed || a.anyBad(i, lba, count) {
+			return nil, fmt.Errorf("%w: reconstructing device %d lba %d needs device %d", ErrDegradedTwice, dev, lba, i)
+		}
 		a.stats.DeviceReads++
 		buf, err := d.Read(p, lba, count)
 		if err != nil {
-			return nil, err
+			if errors.Is(err, blockdev.ErrDeviceFailed) {
+				a.Fail(i) //nolint:errcheck // double fault surfaces below either way
+			}
+			return nil, fmt.Errorf("raid: reconstructing device %d lba %d: %w", dev, lba, err)
 		}
 		xorInto(out, buf)
 	}
 	return out, nil
 }
 
-// devWrite writes a chunk-relative sector range to one device (dropped
-// silently if the device failed — parity carries the information).
+// devWrite writes a chunk-relative sector range to one device. A failed
+// device's writes are dropped silently — parity carries the information. A
+// media error triggers a per-sector probe: writable sectors are persisted,
+// unwritable ones are marked bad so reads reconstruct them from parity (and
+// the scrubber keeps retrying them).
 func (a *Array) devWrite(p *sim.Proc, dev int, devChunk int64, off int, data []byte) error {
 	if dev == a.failed {
 		return nil
 	}
 	a.stats.DeviceWrites++
 	lba := devChunk*int64(a.chunk) + int64(off)
-	return a.devs[dev].Write(p, lba, len(data)/geom.SectorSize, data)
+	n := len(data) / geom.SectorSize
+	err := a.devs[dev].Write(p, lba, n, data)
+	switch {
+	case err == nil:
+		a.clearBad(dev, lba, n)
+		return nil
+	case errors.Is(err, blockdev.ErrDeviceFailed):
+		if ferr := a.Fail(dev); ferr != nil {
+			return ferr
+		}
+		return nil // parity carries the chunk from here on
+	case errors.Is(err, blockdev.ErrMediaError):
+	default:
+		return err
+	}
+	a.stats.MediaErrorWrites++
+	for i := 0; i < n; i++ {
+		slba := lba + int64(i)
+		serr := a.devs[dev].Write(p, slba, 1, data[i*geom.SectorSize:(i+1)*geom.SectorSize])
+		switch {
+		case serr == nil:
+			a.clearBad(dev, slba, 1)
+		case errors.Is(serr, blockdev.ErrDeviceFailed):
+			if ferr := a.Fail(dev); ferr != nil {
+				return ferr
+			}
+			return nil
+		case errors.Is(serr, blockdev.ErrMediaError):
+			a.markBad(dev, slba)
+		default:
+			return serr
+		}
+	}
+	return nil
 }
 
 func xorInto(dst, src []byte) {
@@ -155,8 +331,10 @@ func (a *Array) Read(p *sim.Proc, lba int64, count int) ([]byte, error) {
 		if n > count {
 			n = count
 		}
-		dev, devChunk, _ := a.chunkLoc(logical)
+		dev, devChunk, stripe := a.chunkLoc(logical)
+		a.lockStripe(p, stripe)
 		buf, err := a.devRead(p, dev, devChunk, off, n)
+		a.unlockStripe(stripe)
 		if err != nil {
 			return nil, err
 		}
@@ -188,28 +366,17 @@ func (a *Array) Write(p *sim.Proc, lba int64, count int, data []byte) error {
 		if this > count {
 			this = count
 		}
-		chunkBytes := int64(a.chunk) * geom.SectorSize
+		var err error
+		a.lockStripe(p, stripe)
 		if inStripe == 0 && int64(this) == stripeData {
-			// Full-stripe write: parity from the new data alone.
-			parity := make([]byte, chunkBytes)
-			pDev := a.parityDev(stripe)
-			for i := int64(0); i < n-1; i++ {
-				part := data[i*chunkBytes : (i+1)*chunkBytes]
-				xorInto(parity, part)
-				dev, devChunk, _ := a.chunkLoc(stripe*(n-1) + i)
-				if err := a.devWrite(p, dev, devChunk, 0, part); err != nil {
-					return err
-				}
-			}
-			if err := a.devWrite(p, pDev, stripe, 0, parity); err != nil {
-				return err
-			}
-			a.stats.FullStripes++
+			err = a.fullStripeWrite(p, stripe, data)
 		} else {
 			// Small write(s): read-modify-write per touched chunk.
-			if err := a.smallWrite(p, lba, this, data[:this*geom.SectorSize]); err != nil {
-				return err
-			}
+			err = a.smallWrite(p, lba, this, data[:this*geom.SectorSize])
+		}
+		a.unlockStripe(stripe)
+		if err != nil {
+			return err
 		}
 		data = data[this*geom.SectorSize:]
 		lba += int64(this)
@@ -218,8 +385,30 @@ func (a *Array) Write(p *sim.Proc, lba int64, count int, data []byte) error {
 	return nil
 }
 
+// fullStripeWrite writes one complete stripe, computing parity from the new
+// data alone (no reads). Caller holds the stripe lock.
+func (a *Array) fullStripeWrite(p *sim.Proc, stripe int64, data []byte) error {
+	n := int64(len(a.devs))
+	chunkBytes := int64(a.chunk) * geom.SectorSize
+	parity := make([]byte, chunkBytes)
+	pDev := a.parityDev(stripe)
+	for i := int64(0); i < n-1; i++ {
+		part := data[i*chunkBytes : (i+1)*chunkBytes]
+		xorInto(parity, part)
+		dev, devChunk, _ := a.chunkLoc(stripe*(n-1) + i)
+		if err := a.devWrite(p, dev, devChunk, 0, part); err != nil {
+			return err
+		}
+	}
+	if err := a.devWrite(p, pDev, stripe, 0, parity); err != nil {
+		return err
+	}
+	a.stats.FullStripes++
+	return nil
+}
+
 // smallWrite updates up to a stripe's worth of sectors with read-modify-
-// write parity maintenance.
+// write parity maintenance. Caller holds the stripe lock.
 func (a *Array) smallWrite(p *sim.Proc, lba int64, count int, data []byte) error {
 	for count > 0 {
 		logical := lba / int64(a.chunk)

@@ -60,6 +60,11 @@ type Request struct {
 	Done   *sim.Event
 	Result disk.Result
 
+	// Err is the command's failure, if any, once Done fires. It wraps a
+	// blockdev sentinel error (classify with errors.Is); the queue itself
+	// never retries — retry policy belongs to the driver above it.
+	Err error
+
 	// Queued records when the request entered the queue, for queueing
 	// delay accounting.
 	Queued sim.Time
@@ -79,6 +84,8 @@ type Stats struct {
 	QueueWait time.Duration
 	// MaxDepth is the high-water mark of queued requests.
 	MaxDepth int
+	// Errors counts requests that completed with a fault.
+	Errors int64
 }
 
 // Queue is a request queue bound to one drive. Create with New; submit with
@@ -155,6 +162,10 @@ func (q *Queue) worker(p *sim.Proc) {
 		q.stats.QueueWait += p.Now().Sub(req.Queued)
 		dr := disk.Request{Write: req.Write, LBA: req.LBA, Count: req.Count, Data: req.Data}
 		req.Result = q.disk.Access(p, &dr)
+		req.Err = req.Result.Err
+		if req.Err != nil {
+			q.stats.Errors++
+		}
 		if !req.Write {
 			req.Data = dr.Data
 		}

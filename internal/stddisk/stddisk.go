@@ -14,12 +14,26 @@ import (
 	"tracklog/internal/sim"
 )
 
+// maxRetries bounds how many times a transient command failure
+// (blockdev.ErrTimeout) is re-issued before surfacing to the client. Media
+// errors and device failure are never retried here — they are not transient.
+const maxRetries = 3
+
+// Stats counts the device's fault handling.
+type Stats struct {
+	// Retries counts transient-failure re-issues; Failures counts commands
+	// surfaced to the client as errors after retries were exhausted or the
+	// error was not retryable.
+	Retries, Failures int64
+}
+
 // Device exposes one drive as a synchronous block device through a request
 // scheduler.
 type Device struct {
 	id    blockdev.DevID
 	queue *sched.Queue
 	size  int64
+	stats Stats
 }
 
 var _ blockdev.Device = (*Device)(nil)
@@ -43,24 +57,53 @@ func (d *Device) Sectors() int64 { return d.size }
 // Queue returns the underlying request queue, for stats.
 func (d *Device) Queue() *sched.Queue { return d.queue }
 
+// Stats returns a copy of the fault-handling counters.
+func (d *Device) Stats() Stats { return d.stats }
+
+// do issues one command with bounded retry on transient failures. Each
+// retry is a full re-issue through the scheduler, so the head repositions
+// onto the target again exactly as a real driver's retried command would.
+func (d *Device) do(p *sim.Proc, verb string, mk func() *sched.Request) (*sched.Request, error) {
+	for attempt := 0; ; attempt++ {
+		req := mk()
+		d.queue.Do(p, req)
+		if req.Err == nil {
+			return req, nil
+		}
+		if blockdev.IsTransient(req.Err) && attempt < maxRetries {
+			d.stats.Retries++
+			continue
+		}
+		d.stats.Failures++
+		return nil, fmt.Errorf("stddisk %v %s (attempt %d): %w", d.id, verb, attempt+1, req.Err)
+	}
+}
+
 // Read returns count sectors starting at lba, blocking p for queueing plus
-// service time.
+// service time. Transient command failures are retried up to maxRetries;
+// other faults surface wrapping their blockdev sentinel.
 func (d *Device) Read(p *sim.Proc, lba int64, count int) ([]byte, error) {
 	if err := blockdev.CheckRange(d.size, lba, count); err != nil {
 		return nil, fmt.Errorf("stddisk %v read: %w", d.id, err)
 	}
-	req := &sched.Request{LBA: lba, Count: count}
-	d.queue.Do(p, req)
+	req, err := d.do(p, "read", func() *sched.Request {
+		return &sched.Request{LBA: lba, Count: count}
+	})
+	if err != nil {
+		return nil, err
+	}
 	return req.Data, nil
 }
 
 // Write makes count sectors at lba durable in place; it blocks p until the
-// sectors are on the platter.
+// sectors are on the platter. Transient command failures are retried up to
+// maxRetries; other faults surface wrapping their blockdev sentinel.
 func (d *Device) Write(p *sim.Proc, lba int64, count int, data []byte) error {
 	if err := blockdev.CheckRange(d.size, lba, count); err != nil {
 		return fmt.Errorf("stddisk %v write: %w", d.id, err)
 	}
-	req := &sched.Request{Write: true, LBA: lba, Count: count, Data: data}
-	d.queue.Do(p, req)
-	return nil
+	_, err := d.do(p, "write", func() *sched.Request {
+		return &sched.Request{Write: true, LBA: lba, Count: count, Data: data}
+	})
+	return err
 }

@@ -8,6 +8,7 @@ import (
 	"tracklog/internal/blockdev"
 	"tracklog/internal/disk"
 	"tracklog/internal/geom"
+	"tracklog/internal/metrics"
 	"tracklog/internal/sched"
 	"tracklog/internal/sim"
 )
@@ -19,6 +20,17 @@ var (
 	ErrNeedsRecovery = errors.New("trail: log disk needs recovery")
 	// ErrClosed means the driver has been shut down.
 	ErrClosed = errors.New("trail: driver is shut down")
+)
+
+// Fault-handling retry bounds. Transient failures (blockdev.ErrTimeout) and
+// log media errors are retried this many times per request before the error
+// surfaces to the client; the counts are small because every retry costs the
+// timeout expiry or a reposition.
+const (
+	maxWriteRetries    = 5
+	maxReadRetries     = 3
+	maxWritebackTries  = 5
+	maxRefReadAttempts = 4
 )
 
 // Config tunes the Trail driver. The zero value selects the paper's
@@ -107,6 +119,38 @@ type Stats struct {
 	ReadsFromStaging int64
 	// IdleRefreshes counts idle-time reference point refreshes.
 	IdleRefreshes int64
+	// Fault handling (all zero on a fault-free rig):
+	// LogWriteRetries counts record writes re-attempted after a transient
+	// or media fault; LogMediaErrors counts log sectors burned by media
+	// errors (the allocator skips them afterwards); LogRefRetries counts
+	// failed reference-point reads; LogDiskFailures counts log disks lost.
+	LogWriteRetries int64
+	LogMediaErrors  int64
+	LogRefRetries   int64
+	LogDiskFailures int64
+	// ReadRetries and WritebackRetries count transient-fault re-issues on
+	// the data disks; AbandonedWritebacks counts write-backs given up on
+	// (their blocks stay pinned in staging and recoverable from the log);
+	// FailedWrites counts client writes that surfaced an error.
+	ReadRetries         int64
+	WritebackRetries    int64
+	AbandonedWritebacks int64
+	FailedWrites        int64
+}
+
+// FaultCounters exports the driver's fault/retry telemetry as a metrics
+// counter set (deterministic rendering order).
+func (s Stats) FaultCounters() *metrics.Counters {
+	c := metrics.NewCounters()
+	c.Set("trail.log_write_retries", s.LogWriteRetries)
+	c.Set("trail.log_media_errors", s.LogMediaErrors)
+	c.Set("trail.log_ref_retries", s.LogRefRetries)
+	c.Set("trail.log_disk_failures", s.LogDiskFailures)
+	c.Set("trail.read_retries", s.ReadRetries)
+	c.Set("trail.writeback_retries", s.WritebackRetries)
+	c.Set("trail.abandoned_writebacks", s.AbandonedWritebacks)
+	c.Set("trail.failed_writes", s.FailedWrites)
+	return c
 }
 
 // AvgTrackUtilization returns the mean per-track space utilization over all
@@ -126,6 +170,11 @@ type pendingWrite struct {
 	data   []byte
 	done   *sim.Event
 	queued sim.Time
+	// retries counts failed log-write attempts for this request; err is the
+	// terminal failure handed back to the client when done fires (nil on
+	// success).
+	retries int
+	err     error
 }
 
 // logDisk is the per-log-disk state: the track allocator, the head-position
@@ -160,6 +209,9 @@ type logDisk struct {
 	lastRecordLBA int64
 
 	writerBusy bool
+	// dead marks a log disk lost to blockdev.ErrDeviceFailed; its writer
+	// has exited and the allocator never touches it again.
+	dead bool
 }
 
 // Driver is the Trail disk subsystem driver: one or more log disks serving
@@ -188,6 +240,9 @@ type Driver struct {
 
 	stats  Stats
 	closed bool
+	// failed holds the terminal error once every log disk has died; all
+	// subsequent writes fail with it immediately.
+	failed error
 }
 
 // NewDriver initializes the Trail driver over one formatted log disk, the
@@ -362,14 +417,21 @@ func (dv *DataDev) Write(p *sim.Proc, lba int64, count int, data []byte) error {
 	return dv.drv.write(p, dv.idx, lba, count, data)
 }
 
-// write queues the request for the log disks and blocks until it is durable.
+// write queues the request for the log disks and blocks until it is durable
+// (or until the driver gives up: every log disk dead, or the request's retry
+// budget exhausted — the error then wraps the blockdev sentinel).
 func (d *Driver) write(p *sim.Proc, devIdx int, lba int64, count int, data []byte) error {
 	if d.closed {
 		return ErrClosed
 	}
+	if d.failed != nil {
+		d.stats.Writes++
+		d.stats.FailedWrites++
+		return fmt.Errorf("trail %v write: %w", d.devIDs[devIdx], d.failed)
+	}
 	d.stats.Writes++
 	// Split requests larger than one record's capacity.
-	var waits []*sim.Event
+	var waits []*pendingWrite
 	for off := 0; off < count; off += d.cfg.MaxBatchSectors {
 		n := count - off
 		if n > d.cfg.MaxBatchSectors {
@@ -386,13 +448,17 @@ func (d *Driver) write(p *sim.Proc, devIdx int, lba int64, count int, data []byt
 			queued: p.Now(),
 		}
 		d.logQ = append(d.logQ, pw)
-		waits = append(waits, pw.done)
+		waits = append(waits, pw)
 	}
 	d.logQCond.Signal()
-	for _, ev := range waits {
-		ev.Wait(p)
+	var firstErr error
+	for _, pw := range waits {
+		pw.done.Wait(p)
+		if pw.err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("trail %v write: %w", d.devIDs[devIdx], pw.err)
+		}
 	}
-	return nil
+	return firstErr
 }
 
 // read serves a read from the staging buffer when possible, otherwise from
@@ -418,10 +484,19 @@ func (d *Driver) read(p *sim.Proc, devIdx int, lba int64, count int) ([]byte, er
 			return out, nil
 		}
 	}
-	req := &sched.Request{LBA: lba, Count: count}
-	d.dataQueues[devIdx].Do(p, req)
-	d.overlayStaged(devIdx, lba, count, req.Data)
-	return req.Data, nil
+	for attempt := 0; ; attempt++ {
+		req := &sched.Request{LBA: lba, Count: count}
+		d.dataQueues[devIdx].Do(p, req)
+		if req.Err == nil {
+			d.overlayStaged(devIdx, lba, count, req.Data)
+			return req.Data, nil
+		}
+		if blockdev.IsTransient(req.Err) && attempt < maxReadRetries {
+			d.stats.ReadRetries++
+			continue
+		}
+		return nil, fmt.Errorf("trail %v read: %w", d.devIDs[devIdx], req.Err)
+	}
 }
 
 // overlayStaged copies any staged (newer) sectors overlapping [lba,
@@ -479,16 +554,43 @@ func (ld *logDisk) estimateMediaStart(now sim.Time) sim.Time {
 }
 
 // refRead issues a one-sector read at the given sector of the tail track to
-// establish or refresh the prediction reference point.
+// establish or refresh the prediction reference point. A faulted read leaves
+// the predictor invalidated: a reference taken from a failed command would
+// poison every subsequent landing prediction.
 func (ld *logDisk) refRead(p *sim.Proc, sector int) disk.Result {
 	cyl, head, _ := ld.tailTrack()
 	lba := ld.g.TrackStartLBA(cyl, head) + int64(sector)
 	res := ld.disk.Access(p, &disk.Request{LBA: lba, Count: 1})
+	ld.lastCmdEnd = res.End
+	if res.Err != nil {
+		ld.pred.Invalidate()
+		return res
+	}
 	a := geom.CHS{Cyl: cyl, Head: head, Sector: sector}
 	ld.pred.SetRef(res.End, ld.g, a)
 	ld.refCHS = a
-	ld.lastCmdEnd = res.End
 	return res
+}
+
+// reestablishRef tries to get a valid prediction reference on ld, retrying
+// the reference read at spread-out sectors of the tail track so a single bad
+// sector cannot pin the writer. It returns false when the disk is beyond
+// saving (device failure, or every attempt faulted), with the last error.
+func (d *Driver) reestablishRef(p *sim.Proc, ld *logDisk) (bool, error) {
+	_, _, spt := ld.tailTrack()
+	var lastErr error
+	for i := 0; i < maxRefReadAttempts; i++ {
+		res := ld.refRead(p, (i*spt/maxRefReadAttempts)%spt)
+		if res.Err == nil {
+			return true, nil
+		}
+		lastErr = res.Err
+		d.stats.LogRefRetries++
+		if errors.Is(res.Err, blockdev.ErrDeviceFailed) {
+			return false, res.Err
+		}
+	}
+	return false, lastErr
 }
 
 // positioningCost returns the arm cost of moving from the current tail
@@ -574,7 +676,13 @@ func (d *Driver) logWriterLoop(p *sim.Proc, ld *logDisk) {
 		ld.writerBusy = true
 
 		if !ld.pred.Valid() {
-			ld.refRead(p, 0)
+			ok, err := d.reestablishRef(p, ld)
+			if !ok {
+				ld.writerBusy = false
+				d.failLogDisk(ld, err)
+				d.maybeAllIdle()
+				return
+			}
 			continue // re-check the queue; another writer may have drained it
 		}
 
@@ -598,7 +706,11 @@ func (d *Driver) logWriterLoop(p *sim.Proc, ld *logDisk) {
 		if len(batch) == 0 {
 			continue // another writer took the queue first
 		}
-		d.writeRecord(p, ld, target, batch)
+		if !d.writeRecord(p, ld, target, batch) && ld.dead {
+			ld.writerBusy = false
+			d.maybeAllIdle()
+			return
+		}
 
 		_, _, spt := ld.tailTrack()
 		if float64(ld.usedOnTail)/float64(spt) >= d.cfg.UtilizationThreshold {
@@ -671,8 +783,11 @@ func (d *Driver) takeBatch(capacity int) []*pendingWrite {
 
 // writeRecord appends one write record holding batch at the target sector
 // of the log disk's tail track, updates the prediction reference, and
-// stages the blocks for write-back.
-func (d *Driver) writeRecord(p *sim.Proc, ld *logDisk, target int, batch []*pendingWrite) {
+// stages the blocks for write-back. On a fault it requeues (or fails) the
+// batch and reports false; partially persisted record sectors are harmless —
+// the record CRC cannot validate, so recovery skips them, and a retried
+// record gets a fresh seq with the same PrevSect.
+func (d *Driver) writeRecord(p *sim.Proc, ld *logDisk, target int, batch []*pendingWrite) bool {
 	cyl, head, _ := ld.tailTrack()
 	headerLBA := ld.g.TrackStartLBA(cyl, head) + int64(target)
 
@@ -712,6 +827,10 @@ func (d *Driver) writeRecord(p *sim.Proc, ld *logDisk, target int, batch []*pend
 	res := ld.disk.Access(p, &disk.Request{Write: true, LBA: headerLBA, Count: 1 + total, Data: img})
 	ld.lastCmdEnd = res.End
 	d.lastActivity = res.End
+	if res.Err != nil {
+		d.handleLogWriteFault(ld, target, batch, res)
+		return false
+	}
 	lastCHS := geom.CHS{Cyl: cyl, Head: head, Sector: target + total}
 	ld.pred.SetRef(res.End, ld.g, lastCHS)
 	ld.refCHS = lastCHS
@@ -739,6 +858,86 @@ func (d *Driver) writeRecord(p *sim.Proc, ld *logDisk, target int, batch []*pend
 		d.stage(pw, rec)
 		pw.done.Trigger()
 	}
+	return true
+}
+
+// handleLogWriteFault classifies a failed record write and disposes of its
+// batch. The prediction reference is always invalidated — after a fault the
+// head position is unknown.
+func (d *Driver) handleLogWriteFault(ld *logDisk, target int, batch []*pendingWrite, res disk.Result) {
+	ld.pred.Invalidate()
+	err := res.Err
+	switch {
+	case errors.Is(err, blockdev.ErrDeviceFailed):
+		d.requeueOrFail(batch, err)
+		d.failLogDisk(ld, err)
+		return
+	case errors.Is(err, blockdev.ErrMediaError):
+		// Burn the run up to and including the failing sector so the
+		// allocator never lands a record there again. Sectors before the
+		// fault hold a torn record image that recovery's CRC check skips.
+		d.stats.LogMediaErrors++
+		_, _, spt := ld.tailTrack()
+		for s := target; s <= target+res.Transferred && s < spt; s++ {
+			if !ld.trackUsed[s] {
+				ld.trackUsed[s] = true
+				ld.usedOnTail++
+			}
+		}
+	default: // transient timeout
+		d.stats.LogWriteRetries++
+	}
+	d.requeueOrFail(batch, err)
+}
+
+// requeueOrFail puts the batch back at the head of the log queue for another
+// attempt, failing any request whose retry budget is spent (or everything,
+// once the driver itself has failed). Requeued requests keep their order so
+// overwrite ordering is preserved.
+func (d *Driver) requeueOrFail(batch []*pendingWrite, cause error) {
+	var retry []*pendingWrite
+	for _, pw := range batch {
+		pw.retries++
+		if d.failed != nil || pw.retries > maxWriteRetries {
+			pw.err = fmt.Errorf("after %d attempts: %w", pw.retries, cause)
+			d.stats.FailedWrites++
+			pw.done.Trigger()
+			continue
+		}
+		retry = append(retry, pw)
+	}
+	if len(retry) > 0 {
+		d.logQ = append(retry, d.logQ...)
+		d.logQCond.Broadcast()
+	}
+}
+
+// failLogDisk marks ld permanently dead. When it was the last live log disk
+// the driver fails as a whole: queued and future writes surface the error
+// rather than waiting forever for a writer that no longer exists.
+func (d *Driver) failLogDisk(ld *logDisk, err error) {
+	if ld.dead {
+		return
+	}
+	ld.dead = true
+	d.stats.LogDiskFailures++
+	for _, other := range d.logs {
+		if !other.dead {
+			d.logQCond.Broadcast() // surviving writers pick up the queue
+			return
+		}
+	}
+	if err == nil {
+		err = blockdev.ErrDeviceFailed
+	}
+	d.failed = fmt.Errorf("all log disks failed: %w", err)
+	for _, pw := range d.logQ {
+		pw.err = d.failed
+		d.stats.FailedWrites++
+		pw.done.Trigger()
+	}
+	d.logQ = nil
+	d.allIdleCond.Broadcast()
 }
 
 // idleLoop periodically refreshes the prediction reference points while the
@@ -765,8 +964,12 @@ func (d *Driver) idleLoop(p *sim.Proc) {
 		}
 		// Refresh each disk: read one sector just ahead of the predicted
 		// position on the tail track (harmless to the free region; reads
-		// do not disturb data).
+		// do not disturb data). Dead disks are skipped; a faulted refresh
+		// is not counted (the writer re-establishes the reference itself).
 		for _, ld := range d.logs {
+			if ld.dead {
+				continue
+			}
 			cyl, head, _ := ld.tailTrack()
 			sector := 0
 			if ld.pred.Valid() {
@@ -774,8 +977,9 @@ func (d *Driver) idleLoop(p *sim.Proc) {
 				angle := ld.pred.AngleAt(p.Now().Add(pp.ReadOverhead))
 				sector = ld.g.ClosestSectorOnTrack(cyl, head, angle, 1)
 			}
-			ld.refRead(p, sector)
-			d.stats.IdleRefreshes++
+			if res := ld.refRead(p, sector); res.Err == nil {
+				d.stats.IdleRefreshes++
+			}
 		}
 		d.lastActivity = p.Now()
 	}

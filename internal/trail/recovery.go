@@ -51,6 +51,12 @@ type RecoverReport struct {
 	RecordsFound, TornRecords int
 	// BlocksReplayed counts data sectors written back to the data disks.
 	BlocksReplayed int
+	// MediaErrorSectors counts unreadable log sectors skipped over during
+	// the scan (their contents are treated as blank; any record image they
+	// belonged to fails its CRC and is discarded as torn). RetriedReads
+	// counts transient read faults retried during recovery.
+	MediaErrorSectors int
+	RetriedReads      int
 	// Pending holds the reconstructed blocks when write-back was skipped.
 	Pending []PendingBlock
 	// Phase timings (paper Fig 4(a)): locating the youngest record,
@@ -116,7 +122,7 @@ func RecoverLogs(p *sim.Proc, logs []*disk.Disk, devs map[blockdev.DevID]blockde
 
 		// Phase 2: rebuild the pending record chain back to log_head.
 		start = p.Now()
-		recs, torn, err := rebuildChain(p, log, hdr.Epoch, youngest, opts.IgnoreLogHead)
+		recs, torn, err := rebuildChain(p, log, hdr.Epoch, youngest, opts.IgnoreLogHead, rep)
 		rep.RebuildTime += p.Now().Sub(start)
 		if err != nil {
 			return nil, err
@@ -177,18 +183,68 @@ type loadedRecord struct {
 	data []byte
 }
 
-// scanTrack reads one full track and returns the valid (untorn) record of
-// the target epoch with the highest sequence number, or nil.
-func scanTrack(p *sim.Proc, log *disk.Disk, g *geom.Geometry, track int, epoch uint32) (*loadedRecord, error) {
+// readTrackSalvage reads one full track, salvaging around unreadable
+// sectors: transient faults are retried (bounded), and a media-error sector
+// is skipped, leaving zeroes in its place — zero bytes can never decode as a
+// record header, and any record image spanning the hole fails its CRC, so
+// the scan treats the damage as torn space rather than aborting recovery.
+func readTrackSalvage(p *sim.Proc, log *disk.Disk, base int64, spt int, rep *RecoverReport) ([]byte, error) {
+	out := make([]byte, spt*geom.SectorSize)
+	lba := base
+	end := base + int64(spt)
+	retries := 0
+	for lba < end {
+		req := disk.Request{LBA: lba, Count: int(end - lba)}
+		res := log.Access(p, &req)
+		if res.Transferred > 0 {
+			copy(out[(lba-base)*geom.SectorSize:], req.Data[:res.Transferred*geom.SectorSize])
+			lba += int64(res.Transferred)
+		}
+		switch {
+		case res.Err == nil:
+			// Full extent transferred; the loop condition ends the scan.
+		case blockdev.IsTransient(res.Err) && retries < maxReadRetries:
+			retries++
+			rep.RetriedReads++
+		case errors.Is(res.Err, blockdev.ErrMediaError):
+			rep.MediaErrorSectors++
+			lba++ // leave the unreadable sector zeroed and move on
+		default:
+			return nil, fmt.Errorf("trail: recovery read at lba %d: %w", lba, res.Err)
+		}
+	}
+	return out, nil
+}
+
+// trackScan is the result of scanning one track for records of an epoch.
+type trackScan struct {
+	// best is the valid (untorn) record with the highest sequence number,
+	// or nil when the track holds none.
+	best *loadedRecord
+	// any reports whether the track holds any decodable record header of
+	// the epoch — valid or torn; maxSeq is the highest sequence number
+	// among them. Torn traces (failed or interrupted record writes) still
+	// prove the allocator reached this track, which the locate phase's
+	// binary search relies on when media faults leave tracks with garbage
+	// but no intact record.
+	any    bool
+	maxSeq uint64
+}
+
+// scanTrack reads one full track and reports the records of the target epoch
+// found on it.
+func scanTrack(p *sim.Proc, log *disk.Disk, g *geom.Geometry, track int, epoch uint32, rep *RecoverReport) (trackScan, error) {
 	cyl, head := g.TrackOf(track)
 	spt := g.SPTAt(cyl)
 	base := g.TrackStartLBA(cyl, head)
-	req := disk.Request{LBA: base, Count: spt}
-	log.Access(p, &req)
+	var ts trackScan
+	img, err := readTrackSalvage(p, log, base, spt, rep)
+	if err != nil {
+		return ts, err
+	}
 
-	var best *loadedRecord
 	for s := 0; s < spt; s++ {
-		sector := req.Data[s*geom.SectorSize : (s+1)*geom.SectorSize]
+		sector := img[s*geom.SectorSize : (s+1)*geom.SectorSize]
 		hdr, err := DecodeRecordHeader(sector)
 		if err != nil || hdr.Epoch != epoch {
 			continue
@@ -200,18 +256,21 @@ func scanTrack(p *sim.Proc, log *disk.Disk, g *geom.Geometry, track int, epoch u
 		if end > spt {
 			continue // a record never crosses a track boundary
 		}
-		img := req.Data[s*geom.SectorSize : end*geom.SectorSize]
-		imgCopy := make([]byte, len(img))
-		copy(imgCopy, img)
+		if !ts.any || hdr.Seq > ts.maxSeq {
+			ts.any, ts.maxSeq = true, hdr.Seq
+		}
+		rec := img[s*geom.SectorSize : end*geom.SectorSize]
+		imgCopy := make([]byte, len(rec))
+		copy(imgCopy, rec)
 		data, err := ExtractData(hdr, imgCopy)
 		if err != nil {
 			continue // torn record
 		}
-		if best == nil || hdr.Seq > best.hdr.Seq {
-			best = &loadedRecord{hdr: hdr, data: data}
+		if ts.best == nil || hdr.Seq > ts.best.hdr.Seq {
+			ts.best = &loadedRecord{hdr: hdr, data: data}
 		}
 	}
-	return best, nil
+	return ts, nil
 }
 
 // locateYoungest finds the record with the highest sequence number of the
@@ -221,70 +280,74 @@ func scanTrack(p *sim.Proc, log *disk.Disk, g *geom.Geometry, track int, epoch u
 // O(lg N) track scans (§3.3, first optimization). If the structure is not a
 // clean prefix (e.g. the log wrapped), it falls back to a sequential scan.
 func locateYoungest(p *sim.Proc, log *disk.Disk, g *geom.Geometry, usable []int, epoch uint32, sequential bool, rep *RecoverReport) (*loadedRecord, error) {
-	scan := func(i int) (*loadedRecord, error) {
+	scan := func(i int) (trackScan, error) {
 		rep.TracksScanned++
-		return scanTrack(p, log, g, usable[i], epoch)
+		return scanTrack(p, log, g, usable[i], epoch, rep)
 	}
 	if sequential {
 		// The unoptimized baseline: scan every track (no assumptions
 		// about layout at all), as the paper's recovery would without its
-		// first optimization.
+		// first optimization. Also the fallback whenever media damage
+		// makes the prefix structure untrustworthy.
 		var best *loadedRecord
 		for i := range usable {
-			rec, err := scan(i)
+			ts, err := scan(i)
 			if err != nil {
 				return nil, err
 			}
-			if rec != nil && (best == nil || rec.hdr.Seq > best.hdr.Seq) {
-				best = rec
+			if ts.best != nil && (best == nil || ts.best.hdr.Seq > best.hdr.Seq) {
+				best = ts.best
 			}
 		}
 		return best, nil
 	}
 
-	// Binary search for the last written track of the epoch prefix.
+	// Binary search for the last written track of the epoch prefix. Torn
+	// traces count as "written": a track full of failed-write garbage was
+	// still reached by the allocator, and the intact records may all live on
+	// later tracks.
 	first, err := scan(0)
 	if err != nil {
 		return nil, err
 	}
-	if first == nil {
-		return nil, nil
+	if !first.any {
+		// Nothing decodable on the first track. On a healthy disk that
+		// means the epoch wrote no records at all — but media faults can
+		// burn a track without leaving a decodable trace, so fall back to
+		// the sequential scan rather than silently dropping the epoch.
+		return locateYoungest(p, log, g, usable, epoch, true, rep)
 	}
 	lo, hi := 0, len(usable)-1 // invariant: track lo is written
-	loRec := first
+	loScan := first
 	for lo < hi {
 		mid := lo + (hi-lo+1)/2
-		rec, err := scan(mid)
+		ts, err := scan(mid)
 		if err != nil {
 			return nil, err
 		}
-		if rec != nil && rec.hdr.Seq >= loRec.hdr.Seq {
-			lo, loRec = mid, rec
+		if ts.any && ts.maxSeq >= loScan.maxSeq {
+			lo, loScan = mid, ts
 		} else {
 			hi = mid - 1
 		}
 	}
-	// The youngest record might be on the track after the last fully
-	// scanned one is not possible: lo is the last written track, and its
-	// max-seq record is the youngest of the epoch prefix. Detect a wrapped
-	// log (last usable track written) and fall back to sequential scan.
-	if lo == len(usable)-1 {
-		last, err := scan(len(usable) - 1)
-		if err != nil {
-			return nil, err
-		}
-		if last != nil {
-			return locateYoungest(p, log, g, usable, epoch, true, rep)
-		}
+	// lo is the last written track, and its max-seq intact record is the
+	// youngest of the epoch prefix. Two cases force the sequential
+	// fallback: a wrapped log (last usable track written, so the prefix
+	// structure no longer holds), and a last track whose records are all
+	// torn (the youngest intact record is then on an earlier track the
+	// search cannot identify).
+	if lo == len(usable)-1 || loScan.best == nil {
+		return locateYoungest(p, log, g, usable, epoch, true, rep)
 	}
-	return loRec, nil
+	return loScan.best, nil
 }
 
 // rebuildChain walks prev_sect pointers from the youngest record back to
 // its log_head (or the epoch start), loading each pending record.
 // Consecutive records cluster on a few tracks, so the walk reads whole
 // tracks and caches them rather than issuing two small reads per record.
-func rebuildChain(p *sim.Proc, log *disk.Disk, epoch uint32, youngest *loadedRecord, ignoreLogHead bool) ([]*loadedRecord, int, error) {
+func rebuildChain(p *sim.Proc, log *disk.Disk, epoch uint32, youngest *loadedRecord, ignoreLogHead bool, rep *RecoverReport) ([]*loadedRecord, int, error) {
 	stopLBA := youngest.hdr.LogHead
 	records := []*loadedRecord{youngest}
 	torn := 0
@@ -298,7 +361,7 @@ func rebuildChain(p *sim.Proc, log *disk.Disk, epoch uint32, youngest *loadedRec
 		if prev < 0 {
 			break // first record of the epoch
 		}
-		rec, err := loadRecord(p, log, prev, epoch, cache)
+		rec, err := loadRecord(p, log, prev, epoch, cache, rep)
 		if errors.Is(err, ErrNotRecord) || errors.Is(err, ErrTornRecord) {
 			if errors.Is(err, ErrTornRecord) {
 				torn++
@@ -316,16 +379,18 @@ func rebuildChain(p *sim.Proc, log *disk.Disk, epoch uint32, youngest *loadedRec
 
 // loadRecord reads and validates one record at the given header LBA,
 // reading (and caching) the full track that holds it.
-func loadRecord(p *sim.Proc, log *disk.Disk, headerLBA int64, epoch uint32, cache map[int][]byte) (*loadedRecord, error) {
+func loadRecord(p *sim.Proc, log *disk.Disk, headerLBA int64, epoch uint32, cache map[int][]byte, rep *RecoverReport) (*loadedRecord, error) {
 	g := log.Geom()
 	a := g.ToCHS(headerLBA)
 	track := g.TrackIndex(a.Cyl, a.Head)
 	img, ok := cache[track]
 	if !ok {
 		spt := g.SPTAt(a.Cyl)
-		req := disk.Request{LBA: g.TrackStartLBA(a.Cyl, a.Head), Count: spt}
-		log.Access(p, &req)
-		img = req.Data
+		var err error
+		img, err = readTrackSalvage(p, log, g.TrackStartLBA(a.Cyl, a.Head), spt, rep)
+		if err != nil {
+			return nil, err
+		}
 		cache[track] = img
 	}
 	off := a.Sector * geom.SectorSize

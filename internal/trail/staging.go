@@ -1,6 +1,7 @@
 package trail
 
 import (
+	"tracklog/internal/blockdev"
 	"tracklog/internal/geom"
 	"tracklog/internal/sched"
 	"tracklog/internal/sim"
@@ -100,6 +101,7 @@ type wbFlight struct {
 	refs  []recordRef
 	ver   int64
 	req   *sched.Request
+	tries int
 }
 
 // writebackLoop drains staged buffers of one data disk to their final
@@ -134,6 +136,26 @@ func (d *Driver) writebackLoop(p *sim.Proc, devIdx int) {
 		}
 		for _, f := range flights {
 			f.req.Done.Wait(p)
+			// Transient faults get a bounded number of re-issues; each is a
+			// full round trip through the scheduler, repositioning the head.
+			for f.req.Err != nil && blockdev.IsTransient(f.req.Err) && f.tries < maxWritebackTries {
+				f.tries++
+				d.stats.WritebackRetries++
+				req := &sched.Request{Write: true, LBA: f.key.lba, Count: f.req.Count, Data: f.req.Data}
+				d.dataQueues[devIdx].Submit(req)
+				req.Done.Wait(p)
+				f.req = req
+			}
+			if f.req.Err != nil {
+				// Abandon the write-back: put the record references back on
+				// the staging entry uncommitted, so the log space stays
+				// pinned and the data remains both readable (staging
+				// overlays reads) and crash-recoverable (from the log).
+				d.stats.AbandonedWritebacks++
+				e := f.entry
+				e.refs = append(f.refs, e.refs...)
+				continue
+			}
 			d.stats.WriteBacks++
 			for _, ref := range f.refs {
 				d.commitRef(ref)

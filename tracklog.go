@@ -29,6 +29,7 @@ import (
 
 	"tracklog/internal/blockdev"
 	"tracklog/internal/disk"
+	"tracklog/internal/fault"
 	"tracklog/internal/geom"
 	"tracklog/internal/sched"
 	"tracklog/internal/sim"
@@ -69,6 +70,12 @@ type (
 	RecoverOptions = trail.RecoverOptions
 	// RecoverReport describes a completed recovery.
 	RecoverReport = trail.RecoverReport
+	// FaultConfig describes a deterministic media-fault scenario for one
+	// drive (latent sector errors, transient timeouts, growing defects,
+	// whole-device failure).
+	FaultConfig = fault.Config
+	// FaultPlan is a sampled fault scenario attached to a drive.
+	FaultPlan = fault.Plan
 )
 
 // NewEnv returns a fresh simulation environment.
@@ -110,6 +117,17 @@ func NewStandardDevice(env *Env, d *Disk, id DevID) Device {
 func Recover(p *Proc, log *Disk, devs map[DevID]Device, opts RecoverOptions) (*RecoverReport, error) {
 	return trail.Recover(p, log, devs, opts)
 }
+
+// AttachFaults samples a fault plan for d from rng and installs it on the
+// drive. The plan is fully sampled up front, so the same seed and config
+// reproduce the same faults at the same virtual instants.
+func AttachFaults(d *Disk, rng *Rand, cfg FaultConfig) *FaultPlan {
+	return fault.Attach(d, rng, cfg)
+}
+
+// ParseFaultScenario parses the compact key=value fault DSL (e.g.
+// "latent=3,timeout=1,failat=30s") into a FaultConfig.
+func ParseFaultScenario(s string) (FaultConfig, error) { return fault.ParseScenario(s) }
 
 // SystemConfig sizes a NewSystem.
 type SystemConfig struct {
