@@ -8,14 +8,28 @@
 //	trailbench [-fig3] [-table1] [-delta] [-anatomy] [-procs N] [-writes N] [-seed N]
 //
 // With no selection flags, everything runs.
+//
+// Every invocation also writes a machine-readable benchmark summary —
+// mean/p50/p99 latency and driver counters for the core sync-write
+// configurations — to the file named by -json (default BENCH_trail.json;
+// empty disables), for dashboards and regression tooling.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"tracklog/internal/blockdev"
+	"tracklog/internal/disk"
 	"tracklog/internal/experiments"
+	"tracklog/internal/sched"
+	"tracklog/internal/sim"
+	"tracklog/internal/stddisk"
+	"tracklog/internal/trail"
+	"tracklog/internal/workload"
 )
 
 func main() {
@@ -28,6 +42,7 @@ func main() {
 	procs := flag.Int("procs", 0, "Figure 3 multiprogramming level (0 = both panels: 1 and 5)")
 	writes := flag.Int("writes", 200, "writes per measurement point")
 	seed := flag.Uint64("seed", 1, "random seed")
+	jsonOut := flag.String("json", "BENCH_trail.json", "machine-readable benchmark summary file (empty disables)")
 	flag.Parse()
 
 	all := !*fig3 && !*table1 && !*delta && !*anatomy && !*ablate && !*ext
@@ -114,4 +129,102 @@ func main() {
 		}
 		fmt.Println(dl)
 	}
+	if *jsonOut != "" {
+		if err := writeBenchJSON(*jsonOut, *writes, *seed); err != nil {
+			fail(err)
+		}
+		fmt.Printf("bench summary -> %s\n", *jsonOut)
+	}
 }
+
+// benchEntry is one benchmark configuration's latency distribution plus the
+// driver's counter snapshot (trail runs only).
+type benchEntry struct {
+	Name     string           `json:"name"`
+	Count    int64            `json:"count"`
+	MeanUS   float64          `json:"mean_us"`
+	P50US    float64          `json:"p50_us"`
+	P99US    float64          `json:"p99_us"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// benchFile is the BENCH_trail.json schema.
+type benchFile struct {
+	Writes      int          `json:"writes_per_process"`
+	Seed        uint64       `json:"seed"`
+	Experiments []benchEntry `json:"experiments"`
+}
+
+// writeBenchJSON runs the core sync-write configurations (both systems, both
+// arrival modes, 1KB and 8KB writes) and writes their latency distributions
+// and counters as JSON. encoding/json renders struct fields in declaration
+// order and map keys sorted, so the file is byte-deterministic for a given
+// seed.
+func writeBenchJSON(path string, writes int, seed uint64) error {
+	bf := benchFile{Writes: writes, Seed: seed}
+	for _, system := range []string{"trail", "std"} {
+		for _, mode := range []workload.Mode{workload.Sparse, workload.Clustered} {
+			for _, sizeKB := range []int{1, 8} {
+				e, err := benchPoint(system, mode, sizeKB, writes, seed)
+				if err != nil {
+					return err
+				}
+				bf.Experiments = append(bf.Experiments, e)
+			}
+		}
+	}
+	data, err := json.MarshalIndent(&bf, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// benchPoint runs one sync-write configuration on a fresh rig.
+func benchPoint(system string, mode workload.Mode, sizeKB, writes int, seed uint64) (benchEntry, error) {
+	env := sim.NewEnv()
+	defer env.Close()
+	var dev blockdev.Device
+	var drv *trail.Driver
+	switch system {
+	case "trail":
+		log := disk.New(env, disk.ST41601N())
+		if err := trail.Format(log); err != nil {
+			return benchEntry{}, err
+		}
+		data := disk.New(env, disk.WDCaviar())
+		var err error
+		drv, err = trail.NewDriver(env, log, []*disk.Disk{data}, trail.Config{})
+		if err != nil {
+			return benchEntry{}, err
+		}
+		dev = drv.Dev(0)
+	default:
+		d := disk.New(env, disk.WDCaviar())
+		dev = stddisk.New(env, d, blockdev.DevID{Major: 3}, sched.LOOK)
+	}
+	res, err := workload.RunSyncWrites(env, dev, workload.SyncWriteConfig{
+		Mode:             mode,
+		WriteSize:        sizeKB * 1024,
+		Processes:        1,
+		WritesPerProcess: writes,
+		Seed:             seed,
+	})
+	if err != nil {
+		return benchEntry{}, fmt.Errorf("bench %s/%v/%dKB: %w", system, mode, sizeKB, err)
+	}
+	e := benchEntry{
+		Name:   fmt.Sprintf("sync-write/%s/%v/%dKB", system, mode, sizeKB),
+		Count:  res.Latency.Count(),
+		MeanUS: usFloat(res.Latency.Mean()),
+		P50US:  usFloat(res.Latency.Quantile(0.50)),
+		P99US:  usFloat(res.Latency.Quantile(0.99)),
+	}
+	if drv != nil {
+		e.Counters = drv.Stats().Counters().Snapshot()
+	}
+	return e, nil
+}
+
+// usFloat converts a duration to microseconds.
+func usFloat(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1000 }

@@ -7,15 +7,29 @@
 //	trailsim [-system trail|std] [-mode sparse|clustered] [-size BYTES]
 //	         [-procs N] [-writes N] [-seed N]
 //	trailsim -pattern uniform|sequential|zipf [-write-ratio R]   # synthetic trace
-//	trailsim -trace FILE                                         # replay a trace file
+//	trailsim -replay FILE                                        # replay a trace file
 //	trailsim -faults latent=3,timeout=1 [-fault-seed N]          # inject media faults
 //	trailsim -faulttol [-faults SCENARIO]                        # 3-system fault comparison
+//
+// Observability (composable with every mode above):
+//
+//	-trace out.json        write a Chrome trace-event JSON file of the run
+//	                       (load in ui.perfetto.dev or chrome://tracing) and
+//	                       print the head-position prediction audit
+//	-trace-cap N           trace ring capacity in events
+//	-sample-interval D     sample per-device gauges every D of virtual time
+//	-sample-out FILE       time-series destination (.json for JSON, else CSV)
+//
+// Traced runs are bit-identical in virtual time to untraced runs of the same
+// seed, and trace/sample files are byte-identical across repeated runs.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 	"time"
 
 	"tracklog/internal/blockdev"
@@ -26,6 +40,7 @@ import (
 	"tracklog/internal/sched"
 	"tracklog/internal/sim"
 	"tracklog/internal/stddisk"
+	"tracklog/internal/trace"
 	"tracklog/internal/trail"
 	"tracklog/internal/workload"
 )
@@ -37,32 +52,141 @@ func main() {
 	procs := flag.Int("procs", 1, "concurrent writer processes")
 	writes := flag.Int("writes", 200, "writes per process")
 	seed := flag.Uint64("seed", 1, "random seed")
-	traceFile := flag.String("trace", "", "replay an I/O trace file instead of the synthetic workload")
+	replayFile := flag.String("replay", "", "replay an I/O trace file instead of the synthetic workload")
 	pattern := flag.String("pattern", "", "synthesize-and-replay with this target pattern: uniform, sequential, zipf")
 	writeRatio := flag.Float64("write-ratio", 0.7, "write fraction for -pattern traces")
 	faults := flag.String("faults", "", "fault scenario to inject on every drive (key=value terms, e.g. latent=3,timeout=1; see internal/fault)")
 	faultSeed := flag.Uint64("fault-seed", 0, "seed for fault sampling (default: -seed)")
 	faultTol := flag.Bool("faulttol", false, "run the standard/trail/raid5 fault-tolerance comparison under -faults")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file of the run")
+	traceCap := flag.Int("trace-cap", trace.DefaultCapacity, "trace ring capacity in events")
+	sampleInterval := flag.Duration("sample-interval", 0, "sample per-device gauges every interval of virtual time (0 disables)")
+	sampleOut := flag.String("sample-out", "samples.csv", "time-series output file for -sample-interval (.json for JSON)")
 	flag.Parse()
 	if *faultSeed == 0 {
 		*faultSeed = *seed
 	}
 
+	obs := newObserver(*traceOut, *traceCap, *sampleOut, *sampleInterval)
 	var err error
 	switch {
 	case *faultTol:
 		err = runFaultTol(*faults, *writes, *faultSeed)
-	case *traceFile != "":
-		err = runTraceFile(*system, *traceFile)
+	case *replayFile != "":
+		err = runReplayFile(*system, *replayFile, obs)
 	case *pattern != "":
-		err = runPattern(*system, *pattern, *writes, *size, *writeRatio, *seed)
+		err = runPattern(*system, *pattern, *writes, *size, *writeRatio, *seed, obs)
 	default:
-		err = run(*system, *mode, *size, *procs, *writes, *seed, *faults, *faultSeed)
+		err = run(*system, *mode, *size, *procs, *writes, *seed, *faults, *faultSeed, obs)
+	}
+	if err == nil {
+		err = obs.finish()
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "trailsim:", err)
 		os.Exit(1)
 	}
+}
+
+// observer bundles the run's optional telemetry: the event tracer (Chrome
+// trace export plus prediction audit) and the periodic gauge sampler.
+type observer struct {
+	traceOut string
+	tr       *trace.Tracer
+
+	sampleOut string
+	interval  time.Duration
+	sampler   *trace.Sampler
+}
+
+func newObserver(traceOut string, traceCap int, sampleOut string, interval time.Duration) *observer {
+	o := &observer{traceOut: traceOut, sampleOut: sampleOut, interval: interval}
+	if traceOut != "" {
+		o.tr = trace.New(traceCap)
+	}
+	return o
+}
+
+// attach wires the observer into a freshly built rig: the kernel and every
+// device report into the tracer, and a daemon process (which never keeps the
+// simulation alive) samples the gauges. At most one of drv/std is non-nil.
+func (o *observer) attach(env *sim.Env, drv *trail.Driver, std *stddisk.Device) {
+	if o.tr != nil {
+		env.SetTracer(o.tr)
+		if drv != nil {
+			drv.SetTracer(o.tr)
+		}
+		if std != nil {
+			std.SetTracer(o.tr, "disk0")
+		}
+	}
+	if o.interval <= 0 {
+		return
+	}
+	switch {
+	case drv != nil:
+		o.sampler = trace.NewSampler(
+			"log_queue", "data_queue", "staged_bytes", "outstanding_records", "log_cyl")
+		env.GoDaemon("telemetry-sampler", func(p *sim.Proc) {
+			for {
+				cyl, _ := drv.LogDisk(0).ArmPosition()
+				o.sampler.Record(int64(p.Now()),
+					float64(drv.LogQueueLen()),
+					float64(drv.DataQueue(0).Depth()),
+					float64(drv.StagedBytes()),
+					float64(drv.OutstandingRecords()),
+					float64(cyl))
+				p.Sleep(o.interval)
+			}
+		})
+	case std != nil:
+		o.sampler = trace.NewSampler("queue_depth", "arm_cyl")
+		env.GoDaemon("telemetry-sampler", func(p *sim.Proc) {
+			for {
+				cyl, _ := std.Queue().Disk().ArmPosition()
+				o.sampler.Record(int64(p.Now()),
+					float64(std.Queue().Depth()),
+					float64(cyl))
+				p.Sleep(o.interval)
+			}
+		})
+	}
+}
+
+// finish writes the collected telemetry files and prints the audit.
+func (o *observer) finish() error {
+	if o.tr != nil {
+		if err := writeFile(o.traceOut, o.tr.WriteChrome); err != nil {
+			return err
+		}
+		fmt.Printf("trace: %d events -> %s (%d dropped)\n", o.tr.Len(), o.traceOut, o.tr.Dropped())
+		if rep := o.tr.Audit(); rep.Predictions > 0 || rep.Unaudited > 0 {
+			fmt.Print(rep)
+		}
+	}
+	if o.sampler != nil {
+		write := o.sampler.WriteCSV
+		if strings.HasSuffix(o.sampleOut, ".json") {
+			write = o.sampler.WriteJSON
+		}
+		if err := writeFile(o.sampleOut, write); err != nil {
+			return err
+		}
+		fmt.Printf("samples: %d rows -> %s\n", o.sampler.Rows(), o.sampleOut)
+	}
+	return nil
+}
+
+func writeFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // runFaultTol runs the three-system comparison under the scenario (the
@@ -84,29 +208,30 @@ func runFaultTol(scenario string, writes int, seed uint64) error {
 }
 
 // buildDevice assembles the chosen storage system on a fresh environment.
-func buildDevice(env *sim.Env, system string) (blockdev.Device, *trail.Driver, error) {
+func buildDevice(env *sim.Env, system string) (blockdev.Device, *trail.Driver, *stddisk.Device, error) {
 	switch system {
 	case "trail":
 		log := disk.New(env, disk.ST41601N())
 		if err := trail.Format(log); err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		data := disk.New(env, disk.WDCaviar())
 		drv, err := trail.NewDriver(env, log, []*disk.Disk{data}, trail.Config{})
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
-		return drv.Dev(0), drv, nil
+		return drv.Dev(0), drv, nil, nil
 	case "std":
 		d := disk.New(env, disk.WDCaviar())
-		return stddisk.New(env, d, blockdev.DevID{Major: 3}, sched.LOOK), nil, nil
+		sd := stddisk.New(env, d, blockdev.DevID{Major: 3}, sched.LOOK)
+		return sd, nil, sd, nil
 	default:
-		return nil, nil, fmt.Errorf("unknown system %q", system)
+		return nil, nil, nil, fmt.Errorf("unknown system %q", system)
 	}
 }
 
-// runTraceFile replays a trace file against the chosen system.
-func runTraceFile(system, path string) error {
+// runReplayFile replays a trace file against the chosen system.
+func runReplayFile(system, path string, obs *observer) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -118,10 +243,11 @@ func runTraceFile(system, path string) error {
 	}
 	env := sim.NewEnv()
 	defer env.Close()
-	dev, _, err := buildDevice(env, system)
+	dev, drv, std, err := buildDevice(env, system)
 	if err != nil {
 		return err
 	}
+	obs.attach(env, drv, std)
 	res, err := workload.Replay(env, dev, tr)
 	if err != nil {
 		return err
@@ -131,13 +257,14 @@ func runTraceFile(system, path string) error {
 }
 
 // runPattern synthesizes a trace with the named pattern and replays it.
-func runPattern(system, pattern string, ops, size int, writeRatio float64, seed uint64) error {
+func runPattern(system, pattern string, ops, size int, writeRatio float64, seed uint64, obs *observer) error {
 	env := sim.NewEnv()
 	defer env.Close()
-	dev, _, err := buildDevice(env, system)
+	dev, drv, std, err := buildDevice(env, system)
 	if err != nil {
 		return err
 	}
+	obs.attach(env, drv, std)
 	var pat workload.Pattern
 	switch pattern {
 	case "uniform":
@@ -165,7 +292,7 @@ func printReplay(system, source string, res *workload.ReplayResult) {
 	fmt.Printf("elapsed %v, %d ops issued late\n", res.Elapsed, res.Lagged)
 }
 
-func run(system, mode string, size, procs, writes int, seed uint64, scenario string, faultSeed uint64) error {
+func run(system, mode string, size, procs, writes int, seed uint64, scenario string, faultSeed uint64, obs *observer) error {
 	env := sim.NewEnv()
 	defer env.Close()
 
@@ -186,6 +313,7 @@ func run(system, mode string, size, procs, writes int, seed uint64, scenario str
 
 	var dev blockdev.Device
 	var drv *trail.Driver
+	var std *stddisk.Device
 	switch system {
 	case "trail":
 		log := disk.New(env, disk.ST41601N())
@@ -204,10 +332,12 @@ func run(system, mode string, size, procs, writes int, seed uint64, scenario str
 	case "std":
 		d := disk.New(env, disk.WDCaviar())
 		attach(d)
-		dev = stddisk.New(env, d, blockdev.DevID{Major: 3}, sched.LOOK)
+		std = stddisk.New(env, d, blockdev.DevID{Major: 3}, sched.LOOK)
+		dev = std
 	default:
 		return fmt.Errorf("unknown system %q", system)
 	}
+	obs.attach(env, drv, std)
 
 	m := workload.Sparse
 	if mode == "clustered" {
@@ -234,6 +364,7 @@ func run(system, mode string, size, procs, writes int, seed uint64, scenario str
 		s := drv.Stats()
 		fmt.Printf("trail: %d records for %d writes (batching %.2fx), %d repositions, avg track util %.1f%%\n",
 			s.Records, s.Writes, float64(s.Writes)/float64(s.Records), s.Repositions, 100*s.AvgTrackUtilization())
+		fmt.Printf("counters: %s\n", s.Counters())
 	}
 	if len(plans) > 0 {
 		agg := metrics.NewCounters()

@@ -22,6 +22,7 @@ import (
 
 	"tracklog/internal/geom"
 	"tracklog/internal/sim"
+	"tracklog/internal/trace"
 )
 
 // Params describes a drive's mechanics. Use ST41601N or WDCaviar for the
@@ -229,6 +230,11 @@ type Disk struct {
 	media map[int64][]byte
 	stats Stats
 	inj   Injector
+
+	// tr, when non-nil, receives per-phase service-time events; trName is
+	// the trace track this drive reports under.
+	tr     *trace.Tracer
+	trName string
 }
 
 // New returns a drive with the given parameters bound to env. It panics on
@@ -271,6 +277,37 @@ func (d *Disk) SetInjector(inj Injector) { d.inj = inj }
 
 // Injector returns the attached fault injector, or nil.
 func (d *Disk) Injector() Injector { return d.inj }
+
+// SetTracer attaches the drive to a tracer under the given track name (nil
+// detaches). The drive emits one event per service-time phase of every
+// command, and registers a head-position ground-truth probe with the tracer
+// so the prediction audit can compare the Trail driver's predicted landing
+// sector with where the head really is. The probe is deliberately reachable
+// only through the tracer: driver code keeps predicting blind.
+func (d *Disk) SetTracer(tr *trace.Tracer, name string) {
+	if d.tr != nil && (tr == nil || name != d.trName) {
+		d.tr.RegisterProbe(d.trName, nil)
+	}
+	d.tr = tr
+	d.trName = name
+	if tr == nil {
+		return
+	}
+	tr.RegisterProbe(name, func(at int64, cyl, head, target int) (int64, int, int) {
+		t := sim.Time(at)
+		spt := d.params.Geom.SPTAt(cyl)
+		wait := d.rotateWait(t, d.params.Geom.SectorAngle(geom.CHS{Cyl: cyl, Head: head, Sector: target}))
+		next := d.params.Geom.ClosestSectorOnTrack(cyl, head, d.phase(t), 0)
+		slack := ((target-next)%spt + spt) % spt
+		return int64(wait), slack, spt
+	})
+}
+
+// ArmPosition returns the arm's resting cylinder and head after the last
+// completed command. Telemetry accessor for the periodic sampler — the
+// rotational phase stays hidden, so this gives drivers nothing the LBA of
+// their own last command didn't already.
+func (d *Disk) ArmPosition() (cyl, head int) { return d.armCyl, d.armHead }
 
 // Reattach rebinds the drive to a fresh environment after a simulated crash
 // and reboot. Media contents survive; arm position is arbitrary (we keep it)
@@ -382,6 +419,10 @@ func (d *Disk) Access(p *sim.Proc, req *Request) Result {
 			res.End = p.Now()
 			d.lastCmdEnd = res.End
 			d.accumulate(req, res)
+			if d.tr != nil {
+				d.tr.Emit(trace.Event{At: int64(res.Start), Dur: int64(res.Latency()), Kind: trace.KFault,
+					Track: d.trName, LBA: req.LBA, Count: req.Count, B: writeFlag(req.Write)})
+			}
 			return res
 		}
 	}
@@ -392,6 +433,7 @@ func (d *Disk) Access(p *sim.Proc, req *Request) Result {
 		earliest := d.lastCmdEnd.Add(d.params.WriteTurnaround)
 		if p.Now() < earliest {
 			w := earliest.Sub(p.Now())
+			d.phaseEvent(p.Now(), trace.KTurnaround, w, req)
 			p.Sleep(w)
 			res.Turnaround = w
 		}
@@ -402,6 +444,7 @@ func (d *Disk) Access(p *sim.Proc, req *Request) Result {
 	if req.Write {
 		overhead = d.params.WriteOverhead
 	}
+	d.phaseEvent(p.Now(), trace.KOverhead, overhead, req)
 	p.Sleep(overhead)
 	res.Overhead = overhead
 
@@ -428,28 +471,33 @@ func (d *Disk) Access(p *sim.Proc, req *Request) Result {
 				dist = -dist
 			}
 			st := d.SeekTime(dist)
+			d.phaseEvent(p.Now(), trace.KSeek, st, req)
 			p.Sleep(st)
 			res.Seek += st
 			d.armCyl = a.Cyl
 		}
 		// Head switch.
 		if a.Head != d.armHead {
+			d.phaseEvent(p.Now(), trace.KHeadSwitch, d.params.HeadSwitch, req)
 			p.Sleep(d.params.HeadSwitch)
 			res.Switch += d.params.HeadSwitch
 			d.armHead = a.Head
 		}
 		// Write settle.
 		if req.Write && d.params.WriteSettle > 0 {
+			d.phaseEvent(p.Now(), trace.KSettle, d.params.WriteSettle, req)
 			p.Sleep(d.params.WriteSettle)
 			res.Settle += d.params.WriteSettle
 		}
 		// Rotate to the start of the first sector of the extent.
 		rw := d.rotateWait(p.Now(), g.SectorAngle(a))
+		d.phaseEvent(p.Now(), trace.KRotWait, rw, req)
 		p.Sleep(rw)
 		res.Rotate += rw
 
 		// Transfer (at the actual spindle speed, drift included).
 		secTime := d.rotPeriod / time.Duration(spt)
+		transferStart := p.Now()
 		for i := 0; i < extent; i++ {
 			p.Sleep(secTime)
 			res.Transfer += secTime
@@ -466,6 +514,12 @@ func (d *Disk) Access(p *sim.Proc, req *Request) Result {
 					res.End = p.Now()
 					d.lastCmdEnd = res.End
 					d.accumulate(req, res)
+					if d.tr != nil {
+						d.tr.Emit(trace.Event{At: int64(transferStart), Dur: int64(p.Now().Sub(transferStart)),
+							Kind: trace.KTransfer, Track: d.trName, LBA: lba, Count: i, B: writeFlag(req.Write)})
+						d.tr.Emit(trace.Event{At: int64(p.Now()), Kind: trace.KFault, Track: d.trName,
+							LBA: cur, Count: 1, B: writeFlag(req.Write)})
+					}
 					return res
 				}
 			}
@@ -478,6 +532,10 @@ func (d *Disk) Access(p *sim.Proc, req *Request) Result {
 				d.readSector(cur, buf[off:off+geom.SectorSize])
 			}
 		}
+		if d.tr != nil && extent > 0 {
+			d.tr.Emit(trace.Event{At: int64(transferStart), Dur: int64(p.Now().Sub(transferStart)),
+				Kind: trace.KTransfer, Track: d.trName, LBA: lba, Count: extent, B: writeFlag(req.Write)})
+		}
 		lba += int64(extent)
 		remaining -= extent
 	}
@@ -486,7 +544,29 @@ func (d *Disk) Access(p *sim.Proc, req *Request) Result {
 	res.End = p.Now()
 	d.lastCmdEnd = res.End
 	d.accumulate(req, res)
+	if d.tr != nil {
+		d.tr.Emit(trace.Event{At: int64(res.Start), Dur: int64(res.Latency()), Kind: trace.KCommand,
+			Track: d.trName, LBA: req.LBA, Count: req.Count, A: int64(res.Transferred), B: writeFlag(req.Write)})
+	}
 	return res
+}
+
+// phaseEvent emits one service-time phase event when tracing is on. Phases
+// with zero duration are elided — they did not happen.
+func (d *Disk) phaseEvent(at sim.Time, kind trace.Kind, dur time.Duration, req *Request) {
+	if d.tr == nil || dur <= 0 {
+		return
+	}
+	d.tr.Emit(trace.Event{At: int64(at), Dur: int64(dur), Kind: kind,
+		Track: d.trName, LBA: req.LBA, Count: req.Count, B: writeFlag(req.Write)})
+}
+
+// writeFlag encodes a command direction into an event argument.
+func writeFlag(w bool) int64 {
+	if w {
+		return 1
+	}
+	return 0
 }
 
 func (d *Disk) accumulate(req *Request, res Result) {

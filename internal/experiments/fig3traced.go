@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"tracklog/internal/trace"
+	"tracklog/internal/workload"
+)
+
+// Figure 3, traced: the same sync-write latency sweep as Figure3, but with a
+// tracer attached to the Trail rig so every point also reports the
+// head-position prediction audit — misprediction rate and the true
+// rotational wait the predictions bought. This ties the paper's headline
+// latency numbers (Figure 3) directly to its mechanism (§3.1): Trail is fast
+// exactly when the audit shows sub-sector-scale rotational waits, and any
+// regression in the predictor shows up here as a rising miss rate before it
+// shows up as latency.
+
+// Fig3TracedRow is one write-size point of the traced sweep (sparse mode,
+// Trail only — the audit has no meaning for the in-place baseline).
+type Fig3TracedRow struct {
+	SizeKB int
+	// MeanLatency is the mean client-visible sync write latency.
+	MeanLatency time.Duration
+	// Predictions/MissRate come from the prediction audit.
+	Predictions int64
+	MissRate    float64
+	// MeanRotWait is the mean true rotational wait of audited log writes
+	// (ground truth from the simulator, invisible to the driver).
+	MeanRotWait time.Duration
+	// Events is the number of trace events the run emitted (after ring
+	// eviction), a coarse activity measure.
+	Events int
+}
+
+// Fig3TracedResult is the traced sweep.
+type Fig3TracedResult struct {
+	Processes int
+	Rows      []Fig3TracedRow
+}
+
+// Figure3Traced runs the sparse-mode Trail side of Figure 3 with tracing
+// attached and returns per-size latency plus prediction-audit figures.
+func Figure3Traced(cfg Figure3Config) (*Fig3TracedResult, error) {
+	cfg = cfg.withDefaults()
+	res := &Fig3TracedResult{Processes: cfg.Processes}
+	for _, sizeKB := range cfg.SizesKB {
+		tr, err := newTrailRig(1, DefaultTrailConfig())
+		if err != nil {
+			return nil, err
+		}
+		tracer := trace.New(0)
+		tr.env.SetTracer(tracer)
+		tr.drv.SetTracer(tracer)
+		tres, err := workload.RunSyncWrites(tr.env, tr.drv.Dev(0), workload.SyncWriteConfig{
+			Mode:             workload.Sparse,
+			WriteSize:        sizeKB * 1024,
+			Processes:        cfg.Processes,
+			WritesPerProcess: cfg.WritesPerProcess,
+			Seed:             cfg.Seed + uint64(sizeKB),
+		})
+		tr.env.Close()
+		if err != nil {
+			return nil, fmt.Errorf("fig3traced %dKB: %w", sizeKB, err)
+		}
+		audit := tracer.Audit()
+		res.Rows = append(res.Rows, Fig3TracedRow{
+			SizeKB:      sizeKB,
+			MeanLatency: tres.Latency.Mean(),
+			Predictions: audit.Predictions,
+			MissRate:    audit.MissRate(),
+			MeanRotWait: audit.RotWait.Mean(),
+			Events:      tracer.Len(),
+		})
+	}
+	return res, nil
+}
+
+// String renders the traced sweep as a table.
+func (r *Fig3TracedResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 3 (traced): Trail sparse latency and prediction audit, %d process(es)\n", r.Processes)
+	fmt.Fprintf(&b, "%8s %12s %12s %10s %14s\n",
+		"size KB", "latency ms", "predictions", "miss %", "rot wait ms")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%8d %12s %12d %10.2f %14s\n",
+			row.SizeKB, fmtMS(row.MeanLatency), row.Predictions,
+			100*row.MissRate, fmtMS(row.MeanRotWait))
+	}
+	return b.String()
+}

@@ -10,6 +10,11 @@ import (
 // reconstruction telemetry from the storage layers in one uniform shape.
 // Iteration and rendering order is sorted by name, so String output is
 // deterministic and can be compared byte-for-byte across runs.
+//
+// The zero value and a nil *Counters are both usable: reads return zeros and
+// renders are empty, and mutating a zero value allocates the map lazily.
+// Mutating a nil *Counters is a no-op, so optional telemetry can be threaded
+// through without nil checks at every increment site.
 type Counters struct {
 	vals map[string]int64
 }
@@ -21,19 +26,39 @@ func NewCounters() *Counters {
 
 // Add increments the named counter by n (creating it at zero).
 func (c *Counters) Add(name string, n int64) {
+	if c == nil {
+		return
+	}
+	if c.vals == nil {
+		c.vals = make(map[string]int64)
+	}
 	c.vals[name] += n
 }
 
 // Set forces the named counter to v.
 func (c *Counters) Set(name string, v int64) {
+	if c == nil {
+		return
+	}
+	if c.vals == nil {
+		c.vals = make(map[string]int64)
+	}
 	c.vals[name] = v
 }
 
 // Get returns the named counter (zero if never touched).
-func (c *Counters) Get(name string) int64 { return c.vals[name] }
+func (c *Counters) Get(name string) int64 {
+	if c == nil {
+		return 0
+	}
+	return c.vals[name]
+}
 
 // Names returns the counter names in sorted order.
 func (c *Counters) Names() []string {
+	if c == nil {
+		return nil
+	}
 	names := make([]string, 0, len(c.vals))
 	for n := range c.vals {
 		names = append(names, n)
@@ -42,10 +67,27 @@ func (c *Counters) Names() []string {
 	return names
 }
 
+// Snapshot returns a copy of the counters as a plain map, for machine-
+// readable export (JSON encoding, test assertions). Mutating the returned
+// map does not affect c.
+func (c *Counters) Snapshot() map[string]int64 {
+	out := make(map[string]int64)
+	if c == nil {
+		return out
+	}
+	for n, v := range c.vals {
+		out[n] = v
+	}
+	return out
+}
+
 // Merge folds other into c.
 func (c *Counters) Merge(other *Counters) {
-	if other == nil {
+	if c == nil || other == nil {
 		return
+	}
+	if c.vals == nil && len(other.vals) > 0 {
+		c.vals = make(map[string]int64)
 	}
 	for n, v := range other.vals {
 		c.vals[n] += v
@@ -54,6 +96,9 @@ func (c *Counters) Merge(other *Counters) {
 
 // Total sums every counter.
 func (c *Counters) Total() int64 {
+	if c == nil {
+		return 0
+	}
 	var t int64
 	for _, v := range c.vals {
 		t += v

@@ -17,6 +17,7 @@ import (
 	"tracklog/internal/geom"
 	"tracklog/internal/metrics"
 	"tracklog/internal/sim"
+	"tracklog/internal/trace"
 )
 
 // Errors.
@@ -51,6 +52,9 @@ type Array struct {
 	// owned by an in-flight operation; lockC wakes the waiters.
 	locked map[int64]bool
 	lockC  *sim.Cond
+
+	tr     *trace.Tracer
+	trName string
 }
 
 // Stats counts array activity.
@@ -115,6 +119,14 @@ func (a *Array) Sectors() int64 {
 
 // Stats returns a copy of the counters.
 func (a *Array) Stats() Stats { return a.stats }
+
+// SetTracer attaches the array's repair activity (reconstructions, device
+// drops, scrub repairs) to a tracer under the given track name. The member
+// devices are traced separately by whoever built them. Pass nil to detach.
+func (a *Array) SetTracer(tr *trace.Tracer, name string) {
+	a.tr = tr
+	a.trName = name
+}
 
 // Fail marks one device as dead; reads reconstruct from the survivors. The
 // array also calls this itself when a device command returns
@@ -224,6 +236,10 @@ func (a *Array) devRead(p *sim.Proc, dev int, devChunk int64, off, count int) ([
 	case err == nil:
 		return buf, nil
 	case errors.Is(err, blockdev.ErrDeviceFailed):
+		if a.tr != nil {
+			a.tr.Emit(trace.Event{At: int64(p.Now()), Kind: trace.KFault,
+				Track: a.trName, LBA: lba, Count: count, A: int64(dev)})
+		}
 		if ferr := a.Fail(dev); ferr != nil {
 			return nil, ferr
 		}
@@ -243,6 +259,10 @@ func (a *Array) devRead(p *sim.Proc, dev int, devChunk int64, off, count int) ([
 // surfaces as an error.
 func (a *Array) reconstruct(p *sim.Proc, dev int, lba int64, count int) ([]byte, error) {
 	a.stats.Reconstructions++
+	if a.tr != nil {
+		a.tr.Emit(trace.Event{At: int64(p.Now()), Kind: trace.KReconstruct,
+			Track: a.trName, LBA: lba, Count: count, A: int64(dev)})
+	}
 	out := make([]byte, count*geom.SectorSize)
 	for i, d := range a.devs {
 		if i == dev {
@@ -282,6 +302,10 @@ func (a *Array) devWrite(p *sim.Proc, dev int, devChunk int64, off int, data []b
 		a.clearBad(dev, lba, n)
 		return nil
 	case errors.Is(err, blockdev.ErrDeviceFailed):
+		if a.tr != nil {
+			a.tr.Emit(trace.Event{At: int64(p.Now()), Kind: trace.KFault,
+				Track: a.trName, LBA: lba, Count: n, A: int64(dev)})
+		}
 		if ferr := a.Fail(dev); ferr != nil {
 			return ferr
 		}

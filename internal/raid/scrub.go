@@ -7,6 +7,7 @@ import (
 
 	"tracklog/internal/blockdev"
 	"tracklog/internal/sim"
+	"tracklog/internal/trace"
 )
 
 // Scrubbing: latent sector errors are what turns a single device failure
@@ -139,6 +140,10 @@ func (a *Array) repairSector(p *sim.Proc, dev int, slba int64, rep *ScrubReport)
 	case werr == nil:
 		a.clearBad(dev, slba, 1)
 		rep.Repaired++
+		if a.tr != nil {
+			a.tr.Emit(trace.Event{At: int64(p.Now()), Kind: trace.KScrubRepair,
+				Track: a.trName, LBA: slba, Count: 1, A: int64(dev)})
+		}
 	case errors.Is(werr, blockdev.ErrDeviceFailed):
 		return werr
 	case errors.Is(werr, blockdev.ErrMediaError):

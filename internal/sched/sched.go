@@ -15,6 +15,7 @@ import (
 
 	"tracklog/internal/disk"
 	"tracklog/internal/sim"
+	"tracklog/internal/trace"
 )
 
 // Policy selects the order requests are served in.
@@ -100,6 +101,9 @@ type Queue struct {
 	lastLBA       int64
 	sweepUp       bool
 	stats         Stats
+
+	tr     *trace.Tracer
+	trName string
 }
 
 // New creates a queue over d with the given policy and starts its worker
@@ -118,6 +122,14 @@ func New(env *sim.Env, d *disk.Disk, policy Policy) *Queue {
 
 // Disk returns the drive this queue feeds.
 func (q *Queue) Disk() *disk.Disk { return q.disk }
+
+// SetTracer attaches the queue to a tracer under the given track name (nil
+// detaches): every enqueue and dispatch emits an event carrying the queue
+// depth, so queueing delay is visible per device in the exported trace.
+func (q *Queue) SetTracer(tr *trace.Tracer, name string) {
+	q.tr = tr
+	q.trName = name
+}
 
 // Stats returns a copy of the queue counters.
 func (q *Queue) Stats() Stats { return q.stats }
@@ -141,6 +153,10 @@ func (q *Queue) Submit(req *Request) {
 		q.stats.MaxDepth = d
 	}
 	q.stats.Submitted++
+	if q.tr != nil {
+		q.tr.Emit(trace.Event{At: int64(req.Queued), Kind: trace.KEnqueue, Track: q.trName,
+			LBA: req.LBA, Count: req.Count, A: int64(q.Depth()), B: writeFlag(req.Write)})
+	}
 	q.nonEmpty.Signal()
 }
 
@@ -160,6 +176,10 @@ func (q *Queue) worker(p *sim.Proc) {
 		}
 		req := q.pick()
 		q.stats.QueueWait += p.Now().Sub(req.Queued)
+		if q.tr != nil {
+			q.tr.Emit(trace.Event{At: int64(p.Now()), Kind: trace.KDequeue, Track: q.trName,
+				LBA: req.LBA, Count: req.Count, A: int64(q.Depth()), B: int64(p.Now().Sub(req.Queued))})
+		}
 		dr := disk.Request{Write: req.Write, LBA: req.LBA, Count: req.Count, Data: req.Data}
 		req.Result = q.disk.Access(p, &dr)
 		req.Err = req.Result.Err
@@ -267,6 +287,14 @@ func absDelta(a, b int64) int64 {
 		return a - b
 	}
 	return b - a
+}
+
+// writeFlag encodes a request direction into an event argument.
+func writeFlag(w bool) int64 {
+	if w {
+		return 1
+	}
+	return 0
 }
 
 func (q *Queue) removeRead(i int) *Request {

@@ -14,6 +14,8 @@ import (
 	"container/heap"
 	"fmt"
 	"time"
+
+	"tracklog/internal/trace"
 )
 
 // Time is an instant of virtual time, in nanoseconds since the start of the
@@ -56,6 +58,9 @@ type Proc struct {
 	resume chan struct{}
 	state  procState
 	killed bool
+	// daemon processes (samplers, background observers) do not keep the
+	// simulation alive: Run returns once only daemon events remain queued.
+	daemon bool
 	done   *Event // triggered when the process function returns
 }
 
@@ -74,6 +79,15 @@ type Env struct {
 	procs  map[int64]*Proc
 	nextID int64
 	closed bool
+	// liveQueued counts queued events belonging to non-daemon processes;
+	// when it reaches zero the simulation has nothing left to do but
+	// housekeeping and Run returns.
+	liveQueued int
+
+	// tracer, when non-nil, observes process scheduling (see SetTracer).
+	// Hooks never touch the clock or the queue, so a traced run is
+	// bit-identical in virtual time to an untraced one.
+	tracer *trace.Tracer
 
 	// kernelPanic holds a panic propagated from a process goroutine; Run
 	// re-panics with it on the caller's goroutine so failures surface in
@@ -92,11 +106,30 @@ func NewEnv() *Env {
 // Now returns the current virtual time.
 func (e *Env) Now() Time { return e.now }
 
+// SetTracer attaches (or with nil, detaches) an event tracer. The kernel
+// emits process schedule/block events; tracing is purely observational and
+// never changes virtual-time behaviour.
+func (e *Env) SetTracer(tr *trace.Tracer) { e.tracer = tr }
+
+// Tracer returns the attached tracer (nil when tracing is disabled).
+func (e *Env) Tracer() *trace.Tracer { return e.tracer }
+
 // Go spawns a new simulated process named name. The process starts when the
 // kernel next reaches the current virtual time in its queue (i.e. after the
 // spawning process yields). It returns the Proc, whose Done event can be
 // waited on.
 func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
+	return e.spawn(name, fn, false)
+}
+
+// GoDaemon spawns a daemon process: a background observer (telemetry
+// sampler, watchdog) that must not keep the simulation alive. Run returns
+// as soon as every event left in the queue belongs to a daemon.
+func (e *Env) GoDaemon(name string, fn func(p *Proc)) *Proc {
+	return e.spawn(name, fn, true)
+}
+
+func (e *Env) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
 	if e.closed {
 		panic("sim: Go on closed Env")
 	}
@@ -107,9 +140,13 @@ func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
 		id:     e.nextID,
 		resume: make(chan struct{}),
 		state:  procReady,
+		daemon: daemon,
 	}
 	p.done = NewEvent(e)
 	e.procs[p.id] = p
+	if e.tracer != nil {
+		e.tracer.Emit(trace.Event{At: int64(e.now), Kind: trace.KProcStart, Track: name})
+	}
 	go func() {
 		<-p.resume
 		defer func() {
@@ -134,6 +171,9 @@ func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
 		fn(p)
 		p.state = procDone
 		delete(e.procs, p.id)
+		if e.tracer != nil {
+			e.tracer.Emit(trace.Event{At: int64(e.now), Kind: trace.KProcEnd, Track: p.name})
+		}
 		p.done.Trigger()
 		e.parked <- struct{}{}
 	}()
@@ -149,6 +189,9 @@ func (e *Env) schedule(t Time, p *Proc) {
 	e.seq++
 	heap.Push(&e.queue, &queued{at: t, seq: e.seq, proc: p})
 	p.state = procReady
+	if !p.daemon {
+		e.liveQueued++
+	}
 }
 
 // ready resumes a parked process at the current time (FIFO among same-time
@@ -156,6 +199,9 @@ func (e *Env) schedule(t Time, p *Proc) {
 func (e *Env) ready(p *Proc) {
 	if p.state != procParked {
 		panic(fmt.Sprintf("sim: ready on process %q in state %d", p.name, p.state))
+	}
+	if e.tracer != nil {
+		e.tracer.Emit(trace.Event{At: int64(e.now), Kind: trace.KSched, Track: p.name})
 	}
 	e.schedule(e.now, p)
 }
@@ -166,19 +212,24 @@ func (e *Env) ready(p *Proc) {
 // the queue drains are left parked; call Close to unwind them.
 func (e *Env) Run() Time { return e.RunUntil(Time(1<<62 - 1)) }
 
-// RunUntil drives the simulation until the event queue is empty or the next
-// event would be after deadline. The clock never passes deadline.
+// RunUntil drives the simulation until the event queue is empty (daemon
+// processes excluded — a periodic sampler alone does not keep the clock
+// advancing) or the next event would be after deadline. The clock never
+// passes deadline.
 func (e *Env) RunUntil(deadline Time) Time {
 	if e.closed {
 		panic("sim: RunUntil on closed Env")
 	}
-	for e.queue.Len() > 0 {
+	for e.queue.Len() > 0 && e.liveQueued > 0 {
 		next := e.queue[0]
 		if next.at > deadline {
 			e.now = deadline
 			return e.now
 		}
 		heap.Pop(&e.queue)
+		if !next.proc.daemon {
+			e.liveQueued--
+		}
 		if next.proc.state == procDone {
 			continue // process was killed while queued
 		}
@@ -219,10 +270,14 @@ func (e *Env) Close() {
 	}
 	e.procs = map[int64]*Proc{}
 	e.queue = nil
+	e.liveQueued = 0
 }
 
 // park blocks the calling process until something calls env.ready(p).
 func (p *Proc) park() {
+	if p.env.tracer != nil {
+		p.env.tracer.Emit(trace.Event{At: int64(p.env.now), Kind: trace.KBlock, Track: p.name})
+	}
 	p.state = procParked
 	p.env.parked <- struct{}{}
 	<-p.resume

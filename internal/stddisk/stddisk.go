@@ -12,6 +12,7 @@ import (
 	"tracklog/internal/disk"
 	"tracklog/internal/sched"
 	"tracklog/internal/sim"
+	"tracklog/internal/trace"
 )
 
 // maxRetries bounds how many times a transient command failure
@@ -34,6 +35,9 @@ type Device struct {
 	queue *sched.Queue
 	size  int64
 	stats Stats
+
+	tr     *trace.Tracer
+	trName string
 }
 
 var _ blockdev.Device = (*Device)(nil)
@@ -57,6 +61,16 @@ func (d *Device) Sectors() int64 { return d.size }
 // Queue returns the underlying request queue, for stats.
 func (d *Device) Queue() *sched.Queue { return d.queue }
 
+// SetTracer attaches the device — its drive, its scheduler queue, and its
+// own retry decisions — to a tracer under the given track name. Pass nil to
+// detach.
+func (d *Device) SetTracer(tr *trace.Tracer, name string) {
+	d.tr = tr
+	d.trName = name
+	d.queue.SetTracer(tr, name)
+	d.queue.Disk().SetTracer(tr, name)
+}
+
 // Stats returns a copy of the fault-handling counters.
 func (d *Device) Stats() Stats { return d.stats }
 
@@ -72,6 +86,10 @@ func (d *Device) do(p *sim.Proc, verb string, mk func() *sched.Request) (*sched.
 		}
 		if blockdev.IsTransient(req.Err) && attempt < maxRetries {
 			d.stats.Retries++
+			if d.tr != nil {
+				d.tr.Emit(trace.Event{At: int64(p.Now()), Kind: trace.KRetry,
+					Track: d.trName, LBA: req.LBA, Count: req.Count, A: int64(attempt + 1)})
+			}
 			continue
 		}
 		d.stats.Failures++

@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Sampler accumulates a fixed-schema time series: one row per sampling
+// instant, one float64 column per registered gauge. The driving process (a
+// sim daemon spawned by the CLI or experiment harness) calls Record at each
+// interval; the sampler itself never touches the simulation, so sampling at
+// interval I perturbs nothing except the event-queue tie-break sequence of
+// the sampler's own wakeups.
+//
+// Values render with strconv.FormatFloat(-1) — shortest exact form — so
+// export is byte-deterministic for deterministic inputs.
+type Sampler struct {
+	names []string
+	rows  []sampleRow
+}
+
+type sampleRow struct {
+	at   int64
+	vals []float64
+}
+
+// NewSampler returns a sampler with the given column names.
+func NewSampler(names ...string) *Sampler {
+	return &Sampler{names: names}
+}
+
+// Names returns the column names.
+func (s *Sampler) Names() []string { return s.names }
+
+// Rows returns the number of recorded samples.
+func (s *Sampler) Rows() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.rows)
+}
+
+// Record appends one row at virtual time `at` (ns). vals must match the
+// registered columns; missing values are zero-filled, extras dropped.
+func (s *Sampler) Record(at int64, vals ...float64) {
+	if s == nil {
+		return
+	}
+	row := sampleRow{at: at, vals: make([]float64, len(s.names))}
+	copy(row.vals, vals)
+	s.rows = append(s.rows, row)
+}
+
+// fmtVal renders one gauge value in shortest exact form.
+func fmtVal(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WriteCSV writes the series as CSV with a header row; time is in virtual
+// milliseconds with microsecond resolution.
+func (s *Sampler) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("time_ms")
+	for _, n := range s.names {
+		bw.WriteByte(',')
+		bw.WriteString(n)
+	}
+	bw.WriteByte('\n')
+	for _, r := range s.rows {
+		bw.WriteString(msec(r.at))
+		for _, v := range r.vals {
+			bw.WriteByte(',')
+			bw.WriteString(fmtVal(v))
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// WriteJSON writes the series as a JSON object {"columns": [...], "rows":
+// [[t, v...], ...]} with deterministic formatting.
+func (s *Sampler) WriteJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString(`{"columns":["time_ms"`)
+	for _, n := range s.names {
+		bw.WriteByte(',')
+		bw.WriteString(strconv.Quote(n))
+	}
+	bw.WriteString("],\"rows\":[\n")
+	for i, r := range s.rows {
+		if i > 0 {
+			bw.WriteString(",\n")
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "[%s", msec(r.at))
+		for _, v := range r.vals {
+			b.WriteByte(',')
+			b.WriteString(fmtVal(v))
+		}
+		b.WriteByte(']')
+		bw.WriteString(b.String())
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+// msec renders ns as milliseconds with exactly three decimals.
+func msec(ns int64) string {
+	neg := ""
+	if ns < 0 {
+		neg, ns = "-", -ns
+	}
+	return fmt.Sprintf("%s%d.%03d", neg, ns/1_000_000, ns%1_000_000/1000)
+}

@@ -11,6 +11,7 @@ import (
 	"tracklog/internal/metrics"
 	"tracklog/internal/sched"
 	"tracklog/internal/sim"
+	"tracklog/internal/trace"
 )
 
 // Driver errors.
@@ -153,6 +154,25 @@ func (s Stats) FaultCounters() *metrics.Counters {
 	return c
 }
 
+// Counters exports the full driver telemetry (activity and fault handling)
+// as a metrics counter set. Rendering a Counters set is deterministic —
+// String() sorts by name — so every stats report built from it is
+// byte-stable across runs.
+func (s Stats) Counters() *metrics.Counters {
+	c := s.FaultCounters()
+	c.Set("trail.writes", s.Writes)
+	c.Set("trail.records", s.Records)
+	c.Set("trail.logged_sectors", s.LoggedSectors)
+	c.Set("trail.repositions", s.Repositions)
+	c.Set("trail.reposition_time_us", s.RepositionTime.Microseconds())
+	c.Set("trail.log_full_stalls", s.LogFullStalls)
+	c.Set("trail.writebacks", s.WriteBacks)
+	c.Set("trail.superseded_writebacks", s.SupersededWriteBacks)
+	c.Set("trail.reads_from_staging", s.ReadsFromStaging)
+	c.Set("trail.idle_refreshes", s.IdleRefreshes)
+	return c
+}
+
 // AvgTrackUtilization returns the mean per-track space utilization over all
 // tracks the driver has filled and left.
 func (s Stats) AvgTrackUtilization() float64 {
@@ -212,6 +232,10 @@ type logDisk struct {
 	// dead marks a log disk lost to blockdev.ErrDeviceFailed; its writer
 	// has exited and the allocator never touches it again.
 	dead bool
+
+	// trName is the tracer track this disk's events land on ("logN");
+	// empty while tracing is detached.
+	trName string
 }
 
 // Driver is the Trail disk subsystem driver: one or more log disks serving
@@ -243,6 +267,11 @@ type Driver struct {
 	// failed holds the terminal error once every log disk has died; all
 	// subsequent writes fail with it immediately.
 	failed error
+
+	// tr observes driver decisions when tracing is enabled (nil otherwise);
+	// dataNames are the tracer track names of the data disks.
+	tr        *trace.Tracer
+	dataNames []string
 }
 
 // NewDriver initializes the Trail driver over one formatted log disk, the
@@ -346,6 +375,28 @@ func NewDriverMulti(env *sim.Env, logs []*disk.Disk, data []*disk.Disk, cfg Conf
 	return d, nil
 }
 
+// SetTracer attaches tr to the driver and every device beneath it: log disks
+// trace as "logN", data disks and their scheduler queues as "dataN". Beyond
+// device-level events, the driver itself records its log-write placement
+// decisions: each record write emits a prediction-audit sample comparing the
+// driver's predicted landing sector against the simulator's true head
+// position (which the driver itself can never observe — the audit lives
+// entirely in the tracer). Pass nil to detach.
+func (d *Driver) SetTracer(tr *trace.Tracer) {
+	d.tr = tr
+	for _, ld := range d.logs {
+		ld.trName = fmt.Sprintf("log%d", ld.idx)
+		ld.disk.SetTracer(tr, ld.trName)
+	}
+	d.dataNames = d.dataNames[:0]
+	for i, dd := range d.dataDisks {
+		name := fmt.Sprintf("data%d", i)
+		d.dataNames = append(d.dataNames, name)
+		dd.SetTracer(tr, name)
+		d.dataQueues[i].SetTracer(tr, name)
+	}
+}
+
 // Stats returns a copy of the driver counters.
 func (d *Driver) Stats() Stats { return d.stats }
 
@@ -354,6 +405,12 @@ func (d *Driver) Epoch() uint32 { return d.epoch }
 
 // NumLogDisks returns the number of log disks behind the driver.
 func (d *Driver) NumLogDisks() int { return len(d.logs) }
+
+// LogDisk returns log disk idx, for telemetry (arm position sampling).
+func (d *Driver) LogDisk(idx int) *disk.Disk { return d.logs[idx].disk }
+
+// LogQueueLen returns the number of client writes waiting for a log writer.
+func (d *Driver) LogQueueLen() int { return len(d.logQ) }
 
 // DataQueue returns the scheduler queue of data disk idx, for stats.
 func (d *Driver) DataQueue(idx int) *sched.Queue { return d.dataQueues[idx] }
@@ -493,6 +550,10 @@ func (d *Driver) read(p *sim.Proc, devIdx int, lba int64, count int) ([]byte, er
 		}
 		if blockdev.IsTransient(req.Err) && attempt < maxReadRetries {
 			d.stats.ReadRetries++
+			if d.tr != nil {
+				d.tr.Emit(trace.Event{At: int64(p.Now()), Kind: trace.KRetry,
+					Track: d.dataNames[devIdx], LBA: lba, Count: count, A: int64(attempt + 1)})
+			}
 			continue
 		}
 		return nil, fmt.Errorf("trail %v read: %w", d.devIDs[devIdx], req.Err)
@@ -644,6 +705,10 @@ func (d *Driver) advanceTrack(p *sim.Proc, ld *logDisk) {
 	}
 	nextCyl, _ := ld.g.TrackOf(ld.usable[next])
 	posCost := ld.positioningCost(nextCyl)
+	if d.tr != nil {
+		d.tr.Emit(trace.Event{At: int64(p.Now()), Kind: trace.KTrackSwitch, Track: ld.trName,
+			A: int64(ld.usable[ld.posIdx]), B: int64(ld.usable[next])})
+	}
 	ld.posIdx = next
 	ld.usedOnTail = 0
 
@@ -659,6 +724,10 @@ func (d *Driver) advanceTrack(p *sim.Proc, ld *logDisk) {
 	ld.refRead(p, landing)
 	d.stats.Repositions++
 	d.stats.RepositionTime += p.Now().Sub(start)
+	if d.tr != nil {
+		d.tr.Emit(trace.Event{At: int64(start), Dur: int64(p.Now().Sub(start)),
+			Kind: trace.KReposition, Track: ld.trName, A: int64(landing)})
+	}
 }
 
 // logWriterLoop is one log disk's writer process: it drains the shared log
@@ -824,6 +893,13 @@ func (d *Driver) writeRecord(p *sim.Proc, ld *logDisk, target int, batch []*pend
 		panic(fmt.Sprintf("trail: building record: %v", err))
 	}
 
+	// Prediction audit: hand the tracer the driver's predicted landing
+	// (target sector at the estimated media-start time); the tracer checks
+	// it against the simulator's true head position via the disk's probe.
+	// The result never flows back to the driver.
+	if d.tr != nil {
+		d.tr.RecordPrediction(ld.trName, int64(ld.estimateMediaStart(p.Now())), cyl, head, target)
+	}
 	res := ld.disk.Access(p, &disk.Request{Write: true, LBA: headerLBA, Count: 1 + total, Data: img})
 	ld.lastCmdEnd = res.End
 	d.lastActivity = res.End
@@ -886,6 +962,10 @@ func (d *Driver) handleLogWriteFault(ld *logDisk, target int, batch []*pendingWr
 		}
 	default: // transient timeout
 		d.stats.LogWriteRetries++
+	}
+	if d.tr != nil {
+		d.tr.Emit(trace.Event{At: int64(res.End), Kind: trace.KRetry, Track: ld.trName,
+			Count: len(batch), A: int64(target)})
 	}
 	d.requeueOrFail(batch, err)
 }
@@ -979,6 +1059,10 @@ func (d *Driver) idleLoop(p *sim.Proc) {
 			}
 			if res := ld.refRead(p, sector); res.Err == nil {
 				d.stats.IdleRefreshes++
+				if d.tr != nil {
+					d.tr.Emit(trace.Event{At: int64(res.Start), Dur: int64(res.End.Sub(res.Start)),
+						Kind: trace.KIdleRefresh, Track: ld.trName, A: int64(sector)})
+				}
 			}
 		}
 		d.lastActivity = p.Now()

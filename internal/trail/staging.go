@@ -5,6 +5,7 @@ import (
 	"tracklog/internal/geom"
 	"tracklog/internal/sched"
 	"tracklog/internal/sim"
+	"tracklog/internal/trace"
 )
 
 // record tracks one write record on the log disk until all of its blocks
@@ -134,6 +135,10 @@ func (d *Driver) writebackLoop(p *sim.Proc, devIdx int) {
 			d.dataQueues[devIdx].Submit(f.req)
 			flights = append(flights, f)
 		}
+		if d.tr != nil && len(flights) > 0 {
+			d.tr.Emit(trace.Event{At: int64(p.Now()), Kind: trace.KStagingFlush,
+				Track: d.dataNames[devIdx], Count: len(flights), A: int64(len(d.staging))})
+		}
 		for _, f := range flights {
 			f.req.Done.Wait(p)
 			// Transient faults get a bounded number of re-issues; each is a
@@ -141,6 +146,10 @@ func (d *Driver) writebackLoop(p *sim.Proc, devIdx int) {
 			for f.req.Err != nil && blockdev.IsTransient(f.req.Err) && f.tries < maxWritebackTries {
 				f.tries++
 				d.stats.WritebackRetries++
+				if d.tr != nil {
+					d.tr.Emit(trace.Event{At: int64(p.Now()), Kind: trace.KRetry,
+						Track: d.dataNames[devIdx], LBA: f.key.lba, Count: f.req.Count, A: int64(f.tries)})
+				}
 				req := &sched.Request{Write: true, LBA: f.key.lba, Count: f.req.Count, Data: f.req.Data}
 				d.dataQueues[devIdx].Submit(req)
 				req.Done.Wait(p)
