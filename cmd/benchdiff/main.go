@@ -1,0 +1,76 @@
+// Command benchdiff gates benchmark regressions: it compares two
+// machine-readable benchmark summaries (as written by trailbench -json) and
+// exits nonzero when the current run is slower than the baseline beyond the
+// configured tolerances, or when a baseline experiment is missing.
+//
+// Usage:
+//
+//	benchdiff [-mean-tol F] [-p50-tol F] [-p99-tol F] baseline.json current.json
+//
+// Tolerances are relative (0.10 = a metric may be up to 10% slower before
+// the gate fails); a negative tolerance disables gating for that metric.
+// Improvements never fail the gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"tracklog/internal/benchfmt"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	meanTol := fs.Float64("mean-tol", 0.10, "relative mean-latency tolerance (negative disables)")
+	p50Tol := fs.Float64("p50-tol", 0.10, "relative p50-latency tolerance (negative disables)")
+	p99Tol := fs.Float64("p99-tol", 0.10, "relative p99-latency tolerance (negative disables)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "usage: benchdiff [flags] baseline.json current.json")
+		return 2
+	}
+	base, err := benchfmt.ReadFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+	cur, err := benchfmt.ReadFile(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+
+	deltas, missing := benchfmt.Compare(base, cur, benchfmt.Tolerance{
+		Mean: *meanTol, P50: *p50Tol, P99: *p99Tol,
+	})
+	regressed := 0
+	for _, d := range deltas {
+		mark := ""
+		if d.Regressed {
+			mark = "  REGRESSION"
+			regressed++
+		}
+		fmt.Fprintf(stdout, "%-36s %-4s %10.1fus -> %10.1fus  %+6.1f%%%s\n",
+			d.Name, d.Metric, d.Base, d.Cur, d.Pct, mark)
+	}
+	for _, name := range missing {
+		fmt.Fprintf(stdout, "%-36s MISSING from current run\n", name)
+	}
+	switch {
+	case regressed > 0 || len(missing) > 0:
+		fmt.Fprintf(stdout, "FAIL: %d regression(s), %d missing experiment(s)\n", regressed, len(missing))
+		return 1
+	default:
+		fmt.Fprintf(stdout, "ok: %d metrics within tolerance\n", len(deltas))
+		return 0
+	}
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tracklog/internal/benchfmt"
+)
+
+func writeBench(t *testing.T, dir, name string, p99 float64) string {
+	t.Helper()
+	f := &benchfmt.File{
+		Writes: 200,
+		Seed:   1,
+		Experiments: []benchfmt.Entry{
+			{Name: "sync-write/trail/sparse/1KB", Count: 200, MeanUS: 2000, P50US: 1900, P99US: p99},
+			{Name: "sync-write/std/sparse/1KB", Count: 200, MeanUS: 21000, P50US: 20000, P99US: 41000},
+		},
+	}
+	path := filepath.Join(dir, name)
+	if err := f.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestIdenticalRunsPass(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBench(t, dir, "base.json", 4000)
+	cur := writeBench(t, dir, "cur.json", 4000)
+	var out, errb bytes.Buffer
+	if code := run([]string{base, cur}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d on identical runs\n%s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "ok:") {
+		t.Errorf("output missing ok line:\n%s", out.String())
+	}
+}
+
+// The acceptance gate: an injected p99 regression beyond 10% must exit
+// nonzero and name the regressed metric.
+func TestInjectedP99RegressionFails(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBench(t, dir, "base.json", 4000)
+	cur := writeBench(t, dir, "cur.json", 4800) // +20% p99
+	var out, errb bytes.Buffer
+	code := run([]string{base, cur}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d on 20%% p99 regression, want 1\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") || !strings.Contains(out.String(), "p99") {
+		t.Errorf("output does not flag the p99 regression:\n%s", out.String())
+	}
+}
+
+func TestWithinToleranceRegressionPasses(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBench(t, dir, "base.json", 4000)
+	cur := writeBench(t, dir, "cur.json", 4300) // +7.5% p99, under the 10% gate
+	var out, errb bytes.Buffer
+	if code := run([]string{base, cur}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d on in-tolerance delta, want 0\n%s", code, out.String())
+	}
+}
+
+func TestTightenedToleranceCatchesIt(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBench(t, dir, "base.json", 4000)
+	cur := writeBench(t, dir, "cur.json", 4300)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-p99-tol", "0.05", base, cur}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d with 5%% tolerance on 7.5%% regression, want 1\n%s", code, out.String())
+	}
+}
+
+func TestMissingExperimentFails(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBench(t, dir, "base.json", 4000)
+	cur := filepath.Join(dir, "cur.json")
+	f := &benchfmt.File{Writes: 200, Seed: 1, Experiments: []benchfmt.Entry{
+		{Name: "sync-write/std/sparse/1KB", Count: 200, MeanUS: 21000, P50US: 20000, P99US: 41000},
+	}}
+	if err := f.WriteFile(cur); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{base, cur}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d with missing experiment, want 1\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "MISSING") {
+		t.Errorf("output does not report the missing experiment:\n%s", out.String())
+	}
+}
+
+func TestBadUsage(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"only-one.json"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d on bad usage, want 2", code)
+	}
+	if code := run([]string{"a.json", "b.json"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d on unreadable files, want 2", code)
+	}
+}

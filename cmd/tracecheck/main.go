@@ -29,12 +29,20 @@ type traceEvent struct {
 	Dur  *float64                   `json:"dur"`
 	Pid  *int64                     `json:"pid"`
 	Tid  *int64                     `json:"tid"`
+	ID   *json.RawMessage           `json:"id"`
 	Args map[string]json.RawMessage `json:"args"`
 }
 
-// validPhases lists the phase types the simulator's exporter may emit:
-// metadata, complete, and instant events.
-var validPhases = map[string]bool{"M": true, "X": true, "i": true}
+// validPhases lists the phase types the simulator's exporters may emit:
+// metadata, complete, instant, nestable async begin/end (span requests), and
+// flow start/finish (log write → write-back arrows).
+var validPhases = map[string]bool{
+	"M": true, "X": true, "i": true,
+	"b": true, "e": true, "s": true, "f": true,
+}
+
+// idPhases lists the phases that require an id field to pair up.
+var idPhases = map[string]bool{"b": true, "e": true, "s": true, "f": true}
 
 func main() {
 	if len(os.Args) != 2 {
@@ -63,7 +71,8 @@ func check(path string) error {
 		return fmt.Errorf("%s: empty traceEvents array", path)
 	}
 	tracks := map[int64]bool{}
-	var spans, instants, metas int
+	var spans, instants, metas, asyncs, flows int
+	asyncOpen := map[string]int{} // open nestable-async depth per id
 	for i, raw := range tf.TraceEvents {
 		var ev traceEvent
 		if err := json.Unmarshal(raw, &ev); err != nil {
@@ -89,12 +98,29 @@ func check(path string) error {
 		if *ev.Ts < 0 {
 			return fmt.Errorf("%s: event %d (%s): negative ts %v", path, i, *ev.Name, *ev.Ts)
 		}
-		if *ev.Ph == "X" {
+		if idPhases[*ev.Ph] && ev.ID == nil {
+			return fmt.Errorf("%s: event %d (%s): %q event needs an id", path, i, *ev.Name, *ev.Ph)
+		}
+		switch *ev.Ph {
+		case "X":
 			spans++
 			if ev.Dur == nil || *ev.Dur < 0 {
 				return fmt.Errorf("%s: event %d (%s): X event needs non-negative dur", path, i, *ev.Name)
 			}
-		} else {
+		case "b", "e":
+			asyncs++
+			key := string(*ev.ID)
+			if *ev.Ph == "b" {
+				asyncOpen[key]++
+			} else {
+				asyncOpen[key]--
+				if asyncOpen[key] < 0 {
+					return fmt.Errorf("%s: event %d (%s): async end id %s without begin", path, i, *ev.Name, key)
+				}
+			}
+		case "s", "f":
+			flows++
+		default:
 			instants++
 		}
 		// Event order need not be sorted by ts (viewers sort on load), so no
@@ -102,7 +128,12 @@ func check(path string) error {
 		// but emitted at completion.
 		tracks[*ev.Tid] = true
 	}
-	fmt.Printf("%s: ok — %d events (%d spans, %d instants, %d metadata) on %d tracks\n",
-		path, len(tf.TraceEvents), spans, instants, metas, len(tracks))
+	for id, depth := range asyncOpen {
+		if depth != 0 {
+			return fmt.Errorf("%s: async id %s left %d begin(s) unclosed", path, id, depth)
+		}
+	}
+	fmt.Printf("%s: ok — %d events (%d spans, %d instants, %d async, %d flow, %d metadata) on %d tracks\n",
+		path, len(tf.TraceEvents), spans, instants, asyncs, flows, metas, len(tracks))
 	return nil
 }

@@ -16,12 +16,12 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"tracklog/internal/benchfmt"
 	"tracklog/internal/blockdev"
 	"tracklog/internal/disk"
 	"tracklog/internal/experiments"
@@ -43,9 +43,10 @@ func main() {
 	writes := flag.Int("writes", 200, "writes per measurement point")
 	seed := flag.Uint64("seed", 1, "random seed")
 	jsonOut := flag.String("json", "BENCH_trail.json", "machine-readable benchmark summary file (empty disables)")
+	summaryOnly := flag.Bool("summary-only", false, "skip the experiment reports; only write the -json summary (CI regression gating)")
 	flag.Parse()
 
-	all := !*fig3 && !*table1 && !*delta && !*anatomy && !*ablate && !*ext
+	all := !*summaryOnly && !*fig3 && !*table1 && !*delta && !*anatomy && !*ablate && !*ext
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "trailbench:", err)
 		os.Exit(1)
@@ -137,31 +138,13 @@ func main() {
 	}
 }
 
-// benchEntry is one benchmark configuration's latency distribution plus the
-// driver's counter snapshot (trail runs only).
-type benchEntry struct {
-	Name     string           `json:"name"`
-	Count    int64            `json:"count"`
-	MeanUS   float64          `json:"mean_us"`
-	P50US    float64          `json:"p50_us"`
-	P99US    float64          `json:"p99_us"`
-	Counters map[string]int64 `json:"counters,omitempty"`
-}
-
-// benchFile is the BENCH_trail.json schema.
-type benchFile struct {
-	Writes      int          `json:"writes_per_process"`
-	Seed        uint64       `json:"seed"`
-	Experiments []benchEntry `json:"experiments"`
-}
-
 // writeBenchJSON runs the core sync-write configurations (both systems, both
 // arrival modes, 1KB and 8KB writes) and writes their latency distributions
-// and counters as JSON. encoding/json renders struct fields in declaration
-// order and map keys sorted, so the file is byte-deterministic for a given
-// seed.
+// and counters in the benchfmt schema. The file is byte-deterministic for a
+// given seed, so cmd/benchdiff can gate regressions against a checked-in
+// baseline.
 func writeBenchJSON(path string, writes int, seed uint64) error {
-	bf := benchFile{Writes: writes, Seed: seed}
+	bf := &benchfmt.File{Writes: writes, Seed: seed}
 	for _, system := range []string{"trail", "std"} {
 		for _, mode := range []workload.Mode{workload.Sparse, workload.Clustered} {
 			for _, sizeKB := range []int{1, 8} {
@@ -173,15 +156,11 @@ func writeBenchJSON(path string, writes int, seed uint64) error {
 			}
 		}
 	}
-	data, err := json.MarshalIndent(&bf, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return bf.WriteFile(path)
 }
 
 // benchPoint runs one sync-write configuration on a fresh rig.
-func benchPoint(system string, mode workload.Mode, sizeKB, writes int, seed uint64) (benchEntry, error) {
+func benchPoint(system string, mode workload.Mode, sizeKB, writes int, seed uint64) (benchfmt.Entry, error) {
 	env := sim.NewEnv()
 	defer env.Close()
 	var dev blockdev.Device
@@ -190,13 +169,13 @@ func benchPoint(system string, mode workload.Mode, sizeKB, writes int, seed uint
 	case "trail":
 		log := disk.New(env, disk.ST41601N())
 		if err := trail.Format(log); err != nil {
-			return benchEntry{}, err
+			return benchfmt.Entry{}, err
 		}
 		data := disk.New(env, disk.WDCaviar())
 		var err error
 		drv, err = trail.NewDriver(env, log, []*disk.Disk{data}, trail.Config{})
 		if err != nil {
-			return benchEntry{}, err
+			return benchfmt.Entry{}, err
 		}
 		dev = drv.Dev(0)
 	default:
@@ -211,9 +190,9 @@ func benchPoint(system string, mode workload.Mode, sizeKB, writes int, seed uint
 		Seed:             seed,
 	})
 	if err != nil {
-		return benchEntry{}, fmt.Errorf("bench %s/%v/%dKB: %w", system, mode, sizeKB, err)
+		return benchfmt.Entry{}, fmt.Errorf("bench %s/%v/%dKB: %w", system, mode, sizeKB, err)
 	}
-	e := benchEntry{
+	e := benchfmt.Entry{
 		Name:   fmt.Sprintf("sync-write/%s/%v/%dKB", system, mode, sizeKB),
 		Count:  res.Latency.Count(),
 		MeanUS: usFloat(res.Latency.Mean()),

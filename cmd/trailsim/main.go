@@ -18,10 +18,19 @@
 //	                       print the head-position prediction audit
 //	-trace-cap N           trace ring capacity in events
 //	-sample-interval D     sample per-device gauges every D of virtual time
-//	-sample-out FILE       time-series destination (.json for JSON, else CSV)
+//	-sample-out FILE       time-series destination (.json for JSON, .prom for
+//	                       Prometheus text exposition, else CSV)
+//	-spans                 print the per-request span budget: each phase's
+//	                       share of end-to-end latency, per driver and kind
+//	-span-out FILE         write every request's span tree as deterministic
+//	                       JSON; with -trace, requests also appear in the
+//	                       Chrome file as async spans tied by flow arrows
+//	-explain-tail FRAC     explain the slowest FRAC of requests (0.01 = the
+//	                       slowest 1%): dominant phase and root cause
+//	-span-cap N            span recorder ring capacity in requests
 //
 // Traced runs are bit-identical in virtual time to untraced runs of the same
-// seed, and trace/sample files are byte-identical across repeated runs.
+// seed, and trace/sample/span files are byte-identical across repeated runs.
 package main
 
 import (
@@ -39,6 +48,7 @@ import (
 	"tracklog/internal/metrics"
 	"tracklog/internal/sched"
 	"tracklog/internal/sim"
+	"tracklog/internal/span"
 	"tracklog/internal/stddisk"
 	"tracklog/internal/trace"
 	"tracklog/internal/trail"
@@ -61,13 +71,23 @@ func main() {
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file of the run")
 	traceCap := flag.Int("trace-cap", trace.DefaultCapacity, "trace ring capacity in events")
 	sampleInterval := flag.Duration("sample-interval", 0, "sample per-device gauges every interval of virtual time (0 disables)")
-	sampleOut := flag.String("sample-out", "samples.csv", "time-series output file for -sample-interval (.json for JSON)")
+	sampleOut := flag.String("sample-out", "samples.csv", "time-series output file for -sample-interval (.json for JSON, .prom for Prometheus)")
+	spans := flag.Bool("spans", false, "print the per-request span budget (critical-path latency breakdown)")
+	spanOut := flag.String("span-out", "", "write every request's span tree as deterministic JSON")
+	explainTail := flag.Float64("explain-tail", 0, "explain the slowest FRAC of requests (e.g. 0.01; 0 disables)")
+	spanCap := flag.Int("span-cap", span.DefaultCapacity, "span recorder ring capacity in requests")
 	flag.Parse()
 	if *faultSeed == 0 {
 		*faultSeed = *seed
 	}
 
 	obs := newObserver(*traceOut, *traceCap, *sampleOut, *sampleInterval)
+	if *spans || *spanOut != "" || *explainTail > 0 {
+		obs.rec = span.NewRecorder(*spanCap)
+		obs.spans = *spans
+		obs.spanOut = *spanOut
+		obs.tailFrac = *explainTail
+	}
 	var err error
 	switch {
 	case *faultTol:
@@ -97,6 +117,16 @@ type observer struct {
 	sampleOut string
 	interval  time.Duration
 	sampler   *trace.Sampler
+
+	// Span attribution (nil unless a -spans/-span-out/-explain-tail flag
+	// asked for it).
+	rec      *span.Recorder
+	spans    bool
+	spanOut  string
+	tailFrac float64
+	// counters snapshots the driver's counter set at finish time, for the
+	// Prometheus exposition (nil when no driver is attached).
+	counters func() map[string]int64
 }
 
 func newObserver(traceOut string, traceCap int, sampleOut string, interval time.Duration) *observer {
@@ -119,6 +149,17 @@ func (o *observer) attach(env *sim.Env, drv *trail.Driver, std *stddisk.Device) 
 		if std != nil {
 			std.SetTracer(o.tr, "disk0")
 		}
+	}
+	if o.rec != nil {
+		if drv != nil {
+			drv.SetRecorder(o.rec)
+		}
+		if std != nil {
+			std.SetRecorder(o.rec, "disk0")
+		}
+	}
+	if drv != nil {
+		o.counters = func() map[string]int64 { return drv.Stats().Counters().Snapshot() }
 	}
 	if o.interval <= 0 {
 		return
@@ -156,7 +197,18 @@ func (o *observer) attach(env *sim.Env, drv *trail.Driver, std *stddisk.Device) 
 // finish writes the collected telemetry files and prints the audit.
 func (o *observer) finish() error {
 	if o.tr != nil {
-		if err := writeFile(o.traceOut, o.tr.WriteChrome); err != nil {
+		write := o.tr.WriteChrome
+		if o.rec != nil {
+			// Merge the request spans into the same Chrome file: kernel
+			// events and per-request async spans share the timeline.
+			write = func(w io.Writer) error {
+				cw := trace.NewChromeWriter(w)
+				o.tr.EmitChrome(cw)
+				o.rec.EmitChrome(cw)
+				return cw.Close()
+			}
+		}
+		if err := writeFile(o.traceOut, write); err != nil {
 			return err
 		}
 		fmt.Printf("trace: %d events -> %s (%d dropped)\n", o.tr.Len(), o.traceOut, o.tr.Dropped())
@@ -166,13 +218,35 @@ func (o *observer) finish() error {
 	}
 	if o.sampler != nil {
 		write := o.sampler.WriteCSV
-		if strings.HasSuffix(o.sampleOut, ".json") {
+		switch {
+		case strings.HasSuffix(o.sampleOut, ".json"):
 			write = o.sampler.WriteJSON
+		case strings.HasSuffix(o.sampleOut, ".prom"):
+			var counters map[string]int64
+			if o.counters != nil {
+				counters = o.counters()
+			}
+			write = func(w io.Writer) error { return o.sampler.WriteProm(w, counters) }
 		}
 		if err := writeFile(o.sampleOut, write); err != nil {
 			return err
 		}
 		fmt.Printf("samples: %d rows -> %s\n", o.sampler.Rows(), o.sampleOut)
+	}
+	if o.rec != nil {
+		reqs := o.rec.Requests()
+		if o.spans {
+			fmt.Print(span.Analyze(reqs))
+		}
+		if o.tailFrac > 0 {
+			fmt.Print(span.ExplainTail(reqs, o.tailFrac))
+		}
+		if o.spanOut != "" {
+			if err := writeFile(o.spanOut, o.rec.WriteJSON); err != nil {
+				return err
+			}
+			fmt.Printf("spans: %d requests -> %s (%d dropped)\n", len(reqs), o.spanOut, o.rec.Dropped())
+		}
 	}
 	return nil
 }

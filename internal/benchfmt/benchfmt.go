@@ -1,0 +1,116 @@
+// Package benchfmt defines the machine-readable benchmark summary schema
+// shared by the benchmark writers (cmd/trailbench) and the regression gate
+// (cmd/benchdiff). The on-disk form is JSON with struct fields in
+// declaration order and map keys sorted, so a file is byte-deterministic for
+// a given simulation seed — two runs of the same tree produce identical
+// bytes, and any diff is a real behaviour change.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Entry is one benchmark configuration's latency distribution plus an
+// optional driver counter snapshot.
+type Entry struct {
+	Name     string           `json:"name"`
+	Count    int64            `json:"count"`
+	MeanUS   float64          `json:"mean_us"`
+	P50US    float64          `json:"p50_us"`
+	P99US    float64          `json:"p99_us"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// File is the benchmark summary schema (BENCH_trail.json).
+type File struct {
+	Writes      int     `json:"writes_per_process"`
+	Seed        uint64  `json:"seed"`
+	Experiments []Entry `json:"experiments"`
+}
+
+// Entry returns the named experiment, or nil.
+func (f *File) Entry(name string) *Entry {
+	for i := range f.Experiments {
+		if f.Experiments[i].Name == name {
+			return &f.Experiments[i]
+		}
+	}
+	return nil
+}
+
+// ReadFile loads a benchmark summary.
+func ReadFile(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("benchfmt: parsing %s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// WriteFile stores f at path, byte-deterministically.
+func (f *File) WriteFile(path string) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Tolerance sets the per-metric relative regression thresholds: a current
+// value above base*(1+tolerance) is a regression. Metrics with tolerance < 0
+// are not gated.
+type Tolerance struct {
+	Mean, P50, P99 float64
+}
+
+// Delta is one metric's change between a baseline and a current run.
+type Delta struct {
+	Name   string  // experiment name
+	Metric string  // "mean", "p50", "p99"
+	Base   float64 // baseline value, µs
+	Cur    float64 // current value, µs
+	// Pct is the relative change in percent (positive = slower).
+	Pct float64
+	// Regressed marks deltas beyond the metric's tolerance.
+	Regressed bool
+}
+
+// Compare diffs every baseline experiment against cur. It returns all metric
+// deltas (baseline order, metrics mean/p50/p99 per experiment) and the names
+// of baseline experiments missing from cur — a missing experiment always
+// fails the gate, since silently dropping a benchmark hides regressions.
+func Compare(base, cur *File, tol Tolerance) (deltas []Delta, missing []string) {
+	for _, be := range base.Experiments {
+		ce := cur.Entry(be.Name)
+		if ce == nil {
+			missing = append(missing, be.Name)
+			continue
+		}
+		for _, m := range []struct {
+			metric    string
+			b, c, tol float64
+		}{
+			{"mean", be.MeanUS, ce.MeanUS, tol.Mean},
+			{"p50", be.P50US, ce.P50US, tol.P50},
+			{"p99", be.P99US, ce.P99US, tol.P99},
+		} {
+			d := Delta{Name: be.Name, Metric: m.metric, Base: m.b, Cur: m.c}
+			if m.b > 0 {
+				d.Pct = (m.c - m.b) / m.b * 100
+			}
+			if m.tol >= 0 && m.c > m.b*(1+m.tol) {
+				d.Regressed = true
+			}
+			deltas = append(deltas, d)
+		}
+	}
+	sort.Strings(missing)
+	return deltas, missing
+}

@@ -255,7 +255,7 @@ func RecoveryOptimizationsAblation(q int, seed uint64) (*RecoveryAblationResult,
 	}
 	run := func(opts trail.RecoverOptions) (*trail.RecoverReport, error) {
 		opts.SkipWriteBack = true // isolate locate+rebuild
-		return crashWithBacklog(q, seed, opts)
+		return crashWithBacklog(q, seed, opts, nil)
 	}
 	base, err := run(trail.RecoverOptions{})
 	if err != nil {

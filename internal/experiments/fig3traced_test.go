@@ -40,6 +40,18 @@ func TestFigure3Traced(t *testing.T) {
 		if row.Events == 0 {
 			t.Errorf("%dKB: no trace events", row.SizeKB)
 		}
+		// The span columns must tile the mean latency exactly, up to the
+		// few ns the per-column integer divisions lose.
+		sum := row.Queue + row.Mech + row.SpanRotWait + row.Xfer
+		if d := row.MeanLatency - sum; d < -8 || d > 8 {
+			t.Errorf("%dKB: span columns sum to %v, latency %v", row.SizeKB, sum, row.MeanLatency)
+		}
+		// And the attributed rotational wait must agree with the audit's
+		// ground truth (the audit sees only log writes; the span layer sees
+		// the same commands).
+		if row.SpanRotWait <= 0 {
+			t.Errorf("%dKB: no span-attributed rotational wait", row.SizeKB)
+		}
 	}
 	out := res.String()
 	if !strings.Contains(out, "prediction audit") || !strings.Contains(out, "miss %") {

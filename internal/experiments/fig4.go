@@ -10,6 +10,7 @@ import (
 	"tracklog/internal/metrics"
 	"tracklog/internal/sched"
 	"tracklog/internal/sim"
+	"tracklog/internal/span"
 	"tracklog/internal/stddisk"
 	"tracklog/internal/trail"
 )
@@ -28,6 +29,14 @@ type Fig4Row struct {
 	TotalSkip time.Duration
 	// TracksScanned counts locate-phase track scans (binary search).
 	TracksScanned int
+	// WBWrites counts the data-disk writes issued during the write-back
+	// phase, and WBQueue/WBMech/WBRotWait/WBXfer decompose their summed
+	// latency (span-attributed at the standard disk driver; Mech bundles
+	// seek, settle, head switch, and command overheads): replay is
+	// dominated by mechanical positioning and rotational waits, which is
+	// exactly why the paper's skip-write-back optimization pays.
+	WBWrites                           int
+	WBQueue, WBMech, WBRotWait, WBXfer time.Duration
 }
 
 // Total returns the full recovery time.
@@ -49,15 +58,16 @@ func Figure4(qs []int, seed uint64) (*Fig4Result, error) {
 	for _, q := range qs {
 		// Two identical crash states: recovery consumes one (it marks the
 		// disk clean), so the skip-write-back variant needs its own.
-		full, err := crashWithBacklog(q, seed, trail.RecoverOptions{})
+		rec := span.NewRecorder(0)
+		full, err := crashWithBacklog(q, seed, trail.RecoverOptions{Spans: rec}, rec)
 		if err != nil {
 			return nil, err
 		}
-		skip, err := crashWithBacklog(q, seed, trail.RecoverOptions{SkipWriteBack: true})
+		skip, err := crashWithBacklog(q, seed, trail.RecoverOptions{SkipWriteBack: true}, nil)
 		if err != nil {
 			return nil, err
 		}
-		res.Rows = append(res.Rows, Fig4Row{
+		row := Fig4Row{
 			Q:             q,
 			RecordsFound:  full.RecordsFound,
 			Locate:        full.LocateTime,
@@ -65,14 +75,35 @@ func Figure4(qs []int, seed uint64) (*Fig4Result, error) {
 			WriteBack:     full.WriteBackTime,
 			TotalSkip:     skip.Total(),
 			TracksScanned: full.TracksScanned,
-		})
+		}
+		// Decompose the write-back phase from the data-disk spans.
+		var queue, mech, rot, xfer int64
+		for _, rq := range rec.Requests() {
+			if rq.Driver != "std" || rq.Kind != span.KWrite {
+				continue
+			}
+			row.WBWrites++
+			queue += rq.PhaseTotal(span.PQueue) + rq.PhaseTotal(span.PRetry)
+			mech += rq.PhaseTotal(span.PTurnaround) + rq.PhaseTotal(span.POverhead) +
+				rq.PhaseTotal(span.PSeek) + rq.PhaseTotal(span.PHeadSwitch) +
+				rq.PhaseTotal(span.PSettle)
+			rot += rq.PhaseTotal(span.PRotWait)
+			xfer += rq.PhaseTotal(span.PTransfer)
+		}
+		row.WBQueue = time.Duration(queue)
+		row.WBMech = time.Duration(mech)
+		row.WBRotWait = time.Duration(rot)
+		row.WBXfer = time.Duration(xfer)
+		res.Rows = append(res.Rows, row)
 	}
 	return res, nil
 }
 
 // crashWithBacklog builds a Trail system, runs writes until Q records are
-// outstanding, cuts power, reboots and recovers with opts.
-func crashWithBacklog(q int, seed uint64, opts trail.RecoverOptions) (*trail.RecoverReport, error) {
+// outstanding, cuts power, reboots and recovers with opts. When rec is
+// non-nil the rebooted data disks record spans into it, so the write-back
+// phase can be decomposed per device command.
+func crashWithBacklog(q int, seed uint64, opts trail.RecoverOptions, rec *span.Recorder) (*trail.RecoverReport, error) {
 	cfg := DefaultTrailConfig()
 	cfg.DisableBatching = true // one record per write: backlog == Q records
 	rig, err := newTrailRig(1, cfg)
@@ -110,7 +141,11 @@ func crashWithBacklog(q int, seed uint64, opts trail.RecoverOptions) (*trail.Rec
 	for i, dd := range rig.data {
 		dd.Reattach(env)
 		id := blockdev.DevID{Major: 8, Minor: uint8(i)}
-		devs[id] = stddisk.New(env, dd, id, sched.LOOK)
+		sd := stddisk.New(env, dd, id, sched.LOOK)
+		if rec != nil {
+			sd.SetRecorder(rec, fmt.Sprintf("data%d", i))
+		}
+		devs[id] = sd
 	}
 	var rep *trail.RecoverReport
 	var rerr error
@@ -140,6 +175,14 @@ func (r *Fig4Result) String() string {
 			fmtMS(row.Total()), fmtMS(row.TotalSkip), row.TracksScanned, ratio)
 	}
 	b.WriteString("(paper: locate ~450 ms binary search; write-back makes recovery ~3.5x slower at Q=256)\n")
+	b.WriteString("write-back anatomy (span-attributed data-disk write time, ms)\n")
+	fmt.Fprintf(&b, "%6s %8s %10s %10s %10s %10s\n",
+		"Q", "writes", "queue", "mech", "rotwait", "xfer")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%6d %8d %10s %10s %10s %10s\n",
+			row.Q, row.WBWrites, fmtMS(row.WBQueue), fmtMS(row.WBMech),
+			fmtMS(row.WBRotWait), fmtMS(row.WBXfer))
+	}
 	return b.String()
 }
 

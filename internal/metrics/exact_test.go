@@ -1,0 +1,109 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// Below exactSamples the quantiles are exact nearest-rank order statistics,
+// not histogram bucket bounds: bench output for short runs must be exact.
+func TestQuantileExactSmallSample(t *testing.T) {
+	s := NewSummary()
+	for i := 100; i >= 1; i-- { // reverse order: exactness must not depend on arrival order
+		s.Add(time.Duration(i) * time.Millisecond)
+	}
+	cases := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 50 * time.Millisecond},   // rank ceil(0.50*100) = 50
+		{0.90, 90 * time.Millisecond},   // rank 90
+		{0.99, 99 * time.Millisecond},   // rank 99
+		{0.999, 100 * time.Millisecond}, // rank ceil(99.9) = 100
+		{0.01, 1 * time.Millisecond},    // rank 1
+	}
+	for _, c := range cases {
+		if got := s.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want exact %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileExactAtLimit(t *testing.T) {
+	s := NewSummary()
+	for i := 1; i <= exactSamples; i++ {
+		s.Add(time.Duration(i) * time.Microsecond)
+	}
+	// Still exact at exactly the limit.
+	want := time.Duration(exactSamples/2) * time.Microsecond
+	if got := s.Quantile(0.5); got != want {
+		t.Fatalf("at limit: Quantile(0.5) = %v, want %v", got, want)
+	}
+	// One more sample spills to histogram-only: still within bounds and ~5%.
+	s.Add(time.Duration(exactSamples+1) * time.Microsecond)
+	got := s.Quantile(0.5)
+	if got < s.Min() || got > s.Max() {
+		t.Fatalf("post-spill Quantile(0.5) = %v outside [%v, %v]", got, s.Min(), s.Max())
+	}
+	true50 := float64((exactSamples + 1) / 2)
+	if ratio := float64(got.Microseconds()) / true50; ratio < 0.95 || ratio > 1.10 {
+		t.Fatalf("post-spill Quantile(0.5) = %v, true %vµs (ratio %.3f)", got, true50, ratio)
+	}
+}
+
+func TestMergePreservesExactWhenSmall(t *testing.T) {
+	a, b := NewSummary(), NewSummary()
+	for i := 1; i <= 10; i++ {
+		a.Add(time.Duration(i) * time.Millisecond)
+		b.Add(time.Duration(i+10) * time.Millisecond)
+	}
+	a.Merge(b)
+	if got, want := a.Quantile(0.5), 10*time.Millisecond; got != want {
+		t.Fatalf("merged Quantile(0.5) = %v, want exact %v", got, want)
+	}
+	if got, want := a.Quantile(1), 20*time.Millisecond; got != want {
+		t.Fatalf("merged Quantile(1) = %v, want %v", got, want)
+	}
+}
+
+func TestMergeSpillsWhenCombinedTooLarge(t *testing.T) {
+	a, b := NewSummary(), NewSummary()
+	for i := 0; i < exactSamples/2+1; i++ {
+		a.Add(time.Millisecond)
+		b.Add(2 * time.Millisecond)
+	}
+	a.Merge(b)
+	// Combined count exceeds the limit: must fall back to histogram without
+	// leaving a stale partial sample slice behind.
+	if got := a.Quantile(0.5); got < a.Min() || got > a.Max() {
+		t.Fatalf("spilled merge Quantile(0.5) = %v outside [%v, %v]", got, a.Min(), a.Max())
+	}
+	if a.Count() != int64(exactSamples+2) {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+}
+
+// Empty input must render finite axis labels, not "+Inf".
+func TestAsciiPlotEmptySeriesLabels(t *testing.T) {
+	out := AsciiPlot("empty", "x", "y", nil, 40, 10)
+	if strings.Contains(out, "Inf") || strings.Contains(out, "NaN") {
+		t.Fatalf("empty plot leaks non-finite labels:\n%s", out)
+	}
+	out = AsciiPlot("empty", "x", "y", []Series{{Name: "s"}}, 40, 10)
+	if strings.Contains(out, "Inf") || strings.Contains(out, "NaN") {
+		t.Fatalf("empty-series plot leaks non-finite labels:\n%s", out)
+	}
+}
+
+// Degenerate width/height fall back to sane defaults rather than panicking
+// on negative strings.Repeat counts.
+func TestAsciiPlotTinyDimensions(t *testing.T) {
+	pts := []Series{{Name: "s", Points: [][2]float64{{0, 1}, {1, 2}}}}
+	for _, wh := range [][2]int{{0, 0}, {5, 2}, {19, 4}, {-3, -3}} {
+		out := AsciiPlot("t", "a-very-long-x-label", "a-very-long-y-label", pts, wh[0], wh[1])
+		if !strings.Contains(out, "t\n") {
+			t.Fatalf("width=%d height=%d: missing title:\n%s", wh[0], wh[1], out)
+		}
+	}
+}

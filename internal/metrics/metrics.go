@@ -6,14 +6,24 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"sort"
 	"time"
 )
 
-// bucketsPerDecade controls histogram resolution: ~5% relative error.
+// bucketsPerDecade controls histogram resolution. Bucket boundaries grow by
+// a factor of 10^(1/48) ≈ 1.0491 per bucket, so a histogram-derived quantile
+// overshoots the true order statistic by at most ~4.9% (see Quantile).
 const bucketsPerDecade = 48
 
 // minTracked is the smallest latency resolved exactly (1 microsecond).
 const minTracked = time.Microsecond
+
+// exactSamples is how many samples a Summary retains verbatim. While the
+// sample count is at or below this limit, Quantile returns exact nearest-rank
+// order statistics — short benchmark runs report exact p50/p99. Past the
+// limit the retained samples are discarded and quantiles fall back to the
+// log-bucket histogram estimate.
+const exactSamples = 1024
 
 // Summary accumulates duration samples.
 type Summary struct {
@@ -21,6 +31,9 @@ type Summary struct {
 	sum      time.Duration
 	min, max time.Duration
 	buckets  map[int]int64
+	// samples holds every sample verbatim while count <= exactSamples;
+	// nil once the summary has spilled to histogram-only accounting.
+	samples []time.Duration
 }
 
 // NewSummary returns an empty summary.
@@ -42,6 +55,11 @@ func (s *Summary) Add(d time.Duration) {
 	s.count++
 	s.sum += d
 	s.buckets[bucketOf(d)]++
+	if s.count <= exactSamples {
+		s.samples = append(s.samples, d)
+	} else {
+		s.samples = nil
+	}
 }
 
 func bucketOf(d time.Duration) int {
@@ -79,8 +97,18 @@ func (s *Summary) Min() time.Duration { return s.min }
 // Max returns the largest sample.
 func (s *Summary) Max() time.Duration { return s.max }
 
-// Quantile returns an estimate of the q-quantile (0 < q <= 1), accurate to
-// the histogram bucket width (~5%).
+// Quantile returns the q-quantile (0 <= q <= 1) of the recorded samples.
+//
+// While the summary holds at most exactSamples samples, the result is the
+// exact nearest-rank order statistic (rank = ceil(q*n)), so short runs —
+// including every committed BENCH_trail.json configuration — report exact
+// p50/p99. Larger summaries fall back to the log-bucket histogram: the
+// result is the upper bound of the bucket containing the target rank,
+// clamped to [Min, Max]. Buckets grow by 10^(1/bucketsPerDecade) ≈ 1.0491
+// per step, so the estimate never undershoots the true order statistic and
+// overshoots it by at most a factor of ~1.049 (≈5% relative error);
+// durations below minTracked (1µs) share bucket 0 and resolve only to the
+// observed min/max.
 func (s *Summary) Quantile(q float64) time.Duration {
 	if s.count == 0 {
 		return 0
@@ -90,6 +118,16 @@ func (s *Summary) Quantile(q float64) time.Duration {
 	}
 	if q >= 1 {
 		return s.max
+	}
+	if int64(len(s.samples)) == s.count {
+		sorted := make([]time.Duration, len(s.samples))
+		copy(sorted, s.samples)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		rank := int(math.Ceil(q * float64(s.count)))
+		if rank < 1 {
+			rank = 1
+		}
+		return sorted[rank-1]
 	}
 	target := int64(q * float64(s.count))
 	// Buckets are sparse; walk them in index order.
@@ -111,10 +149,18 @@ func (s *Summary) Quantile(q float64) time.Duration {
 	return s.max
 }
 
-// Merge folds other into s.
+// Merge folds other into s. The exact-sample path survives a merge only if
+// both sides still hold their full sample sets and the combined count fits
+// within exactSamples; otherwise the merged summary is histogram-only.
 func (s *Summary) Merge(other *Summary) {
 	if other.count == 0 {
 		return
+	}
+	if int64(len(s.samples)) == s.count && int64(len(other.samples)) == other.count &&
+		s.count+other.count <= exactSamples {
+		s.samples = append(s.samples, other.samples...)
+	} else {
+		s.samples = nil
 	}
 	if s.count == 0 || other.min < s.min {
 		s.min = other.min

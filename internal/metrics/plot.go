@@ -34,7 +34,11 @@ func AsciiPlot(title, xlabel, ylabel string, series []Series, width, height int)
 			maxY = math.Max(maxY, pt[1])
 		}
 	}
-	if math.IsInf(minX, 1) || maxX == minX {
+	// With no points at all the scan leaves the extents infinite; pin them to
+	// a unit range so the axis labels render as numbers, not "+Inf".
+	if math.IsInf(minX, 1) {
+		minX, maxX = 0, 1
+	} else if maxX == minX {
 		maxX = minX + 1
 	}
 	if math.IsInf(maxY, -1) || maxY == minY {
@@ -74,11 +78,4 @@ func AsciiPlot(title, xlabel, ylabel string, series []Series, width, height int)
 		fmt.Fprintf(&b, "%12c = %s\n", marks[si%len(marks)], s.Name)
 	}
 	return b.String()
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -17,6 +17,7 @@ import (
 	"tracklog/internal/geom"
 	"tracklog/internal/metrics"
 	"tracklog/internal/sim"
+	"tracklog/internal/span"
 	"tracklog/internal/trace"
 )
 
@@ -55,6 +56,9 @@ type Array struct {
 
 	tr     *trace.Tracer
 	trName string
+
+	rec     *span.Recorder
+	recName string
 }
 
 // Stats counts array activity.
@@ -126,6 +130,16 @@ func (a *Array) Stats() Stats { return a.stats }
 func (a *Array) SetTracer(tr *trace.Tracer, name string) {
 	a.tr = tr
 	a.trName = name
+}
+
+// SetRecorder attaches a span recorder under the given device name (nil
+// detaches): each array read or write becomes one span tree whose children —
+// stripe-lock waits and member-device sub-operations (A = member index) —
+// exactly tile its latency. Member devices built over recorded drivers record
+// their own trees; the array tree sits above them, tied by timestamps.
+func (a *Array) SetRecorder(rec *span.Recorder, name string) {
+	a.rec = rec
+	a.recName = name
 }
 
 // Fail marks one device as dead; reads reconstruct from the survivors. The
@@ -341,12 +355,37 @@ func xorInto(dst, src []byte) {
 	}
 }
 
+// subRead runs devRead as a timed child of rq: the interval covers the whole
+// member operation, including any reconstruction reads it triggers.
+func (a *Array) subRead(p *sim.Proc, rq *span.Req, dev int, devChunk int64, off, count int) ([]byte, error) {
+	start := int64(p.Now())
+	buf, err := a.devRead(p, dev, devChunk, off, count)
+	rq.ChildAB(span.PSubRead, start, int64(p.Now()), int64(dev), int64(count))
+	return buf, err
+}
+
+// subWrite runs devWrite as a timed child of rq.
+func (a *Array) subWrite(p *sim.Proc, rq *span.Req, dev int, devChunk int64, off int, data []byte) error {
+	start := int64(p.Now())
+	err := a.devWrite(p, dev, devChunk, off, data)
+	rq.ChildAB(span.PSubWrite, start, int64(p.Now()), int64(dev), int64(len(data)/geom.SectorSize))
+	return err
+}
+
+// lockChild acquires the stripe lock as a queue-wait child of rq.
+func (a *Array) lockChild(p *sim.Proc, rq *span.Req, stripe int64) {
+	start := int64(p.Now())
+	a.lockStripe(p, stripe)
+	rq.ChildAB(span.PQueue, start, int64(p.Now()), stripe, 0)
+}
+
 // Read returns count logical sectors at lba.
 func (a *Array) Read(p *sim.Proc, lba int64, count int) ([]byte, error) {
 	if err := blockdev.CheckRange(a.Sectors(), lba, count); err != nil {
 		return nil, err
 	}
 	a.stats.Reads++
+	rq := a.rec.Start(span.KRead, "raid", a.recName, lba, count, int64(p.Now()))
 	out := make([]byte, 0, count*geom.SectorSize)
 	for count > 0 {
 		logical := lba / int64(a.chunk)
@@ -356,16 +395,18 @@ func (a *Array) Read(p *sim.Proc, lba int64, count int) ([]byte, error) {
 			n = count
 		}
 		dev, devChunk, stripe := a.chunkLoc(logical)
-		a.lockStripe(p, stripe)
-		buf, err := a.devRead(p, dev, devChunk, off, n)
+		a.lockChild(p, rq, stripe)
+		buf, err := a.subRead(p, rq, dev, devChunk, off, n)
 		a.unlockStripe(stripe)
 		if err != nil {
+			rq.Finish(int64(p.Now()), true)
 			return nil, err
 		}
 		out = append(out, buf...)
 		lba += int64(n)
 		count -= n
 	}
+	rq.Finish(int64(p.Now()), false)
 	return out, nil
 }
 
@@ -381,6 +422,7 @@ func (a *Array) Write(p *sim.Proc, lba int64, count int, data []byte) error {
 		return fmt.Errorf("%w: %d bytes for %d sectors", ErrBadArray, len(data), count)
 	}
 	a.stats.Writes++
+	rq := a.rec.Start(span.KWrite, "raid", a.recName, lba, count, int64(p.Now()))
 	n := int64(len(a.devs))
 	stripeData := int64(a.chunk) * (n - 1) // logical sectors per stripe
 	for count > 0 {
@@ -391,27 +433,29 @@ func (a *Array) Write(p *sim.Proc, lba int64, count int, data []byte) error {
 			this = count
 		}
 		var err error
-		a.lockStripe(p, stripe)
+		a.lockChild(p, rq, stripe)
 		if inStripe == 0 && int64(this) == stripeData {
-			err = a.fullStripeWrite(p, stripe, data)
+			err = a.fullStripeWrite(p, rq, stripe, data)
 		} else {
 			// Small write(s): read-modify-write per touched chunk.
-			err = a.smallWrite(p, lba, this, data[:this*geom.SectorSize])
+			err = a.smallWrite(p, rq, lba, this, data[:this*geom.SectorSize])
 		}
 		a.unlockStripe(stripe)
 		if err != nil {
+			rq.Finish(int64(p.Now()), true)
 			return err
 		}
 		data = data[this*geom.SectorSize:]
 		lba += int64(this)
 		count -= this
 	}
+	rq.Finish(int64(p.Now()), false)
 	return nil
 }
 
 // fullStripeWrite writes one complete stripe, computing parity from the new
 // data alone (no reads). Caller holds the stripe lock.
-func (a *Array) fullStripeWrite(p *sim.Proc, stripe int64, data []byte) error {
+func (a *Array) fullStripeWrite(p *sim.Proc, rq *span.Req, stripe int64, data []byte) error {
 	n := int64(len(a.devs))
 	chunkBytes := int64(a.chunk) * geom.SectorSize
 	parity := make([]byte, chunkBytes)
@@ -420,11 +464,11 @@ func (a *Array) fullStripeWrite(p *sim.Proc, stripe int64, data []byte) error {
 		part := data[i*chunkBytes : (i+1)*chunkBytes]
 		xorInto(parity, part)
 		dev, devChunk, _ := a.chunkLoc(stripe*(n-1) + i)
-		if err := a.devWrite(p, dev, devChunk, 0, part); err != nil {
+		if err := a.subWrite(p, rq, dev, devChunk, 0, part); err != nil {
 			return err
 		}
 	}
-	if err := a.devWrite(p, pDev, stripe, 0, parity); err != nil {
+	if err := a.subWrite(p, rq, pDev, stripe, 0, parity); err != nil {
 		return err
 	}
 	a.stats.FullStripes++
@@ -433,7 +477,7 @@ func (a *Array) fullStripeWrite(p *sim.Proc, stripe int64, data []byte) error {
 
 // smallWrite updates up to a stripe's worth of sectors with read-modify-
 // write parity maintenance. Caller holds the stripe lock.
-func (a *Array) smallWrite(p *sim.Proc, lba int64, count int, data []byte) error {
+func (a *Array) smallWrite(p *sim.Proc, rq *span.Req, lba int64, count int, data []byte) error {
 	for count > 0 {
 		logical := lba / int64(a.chunk)
 		off := int(lba % int64(a.chunk))
@@ -446,11 +490,11 @@ func (a *Array) smallWrite(p *sim.Proc, lba int64, count int, data []byte) error
 		newData := data[:nSect*geom.SectorSize]
 
 		// Read old data and old parity (2 reads).
-		oldData, err := a.devRead(p, dev, devChunk, off, nSect)
+		oldData, err := a.subRead(p, rq, dev, devChunk, off, nSect)
 		if err != nil {
 			return err
 		}
-		oldParity, err := a.devRead(p, pDev, stripe, off, nSect)
+		oldParity, err := a.subRead(p, rq, pDev, stripe, off, nSect)
 		if err != nil {
 			return err
 		}
@@ -461,10 +505,10 @@ func (a *Array) smallWrite(p *sim.Proc, lba int64, count int, data []byte) error
 		xorInto(parity, newData)
 
 		// Write new data and new parity (2 writes).
-		if err := a.devWrite(p, dev, devChunk, off, newData); err != nil {
+		if err := a.subWrite(p, rq, dev, devChunk, off, newData); err != nil {
 			return err
 		}
-		if err := a.devWrite(p, pDev, stripe, off, parity); err != nil {
+		if err := a.subWrite(p, rq, pDev, stripe, off, parity); err != nil {
 			return err
 		}
 		a.stats.SmallWrites++

@@ -69,6 +69,14 @@ type Request struct {
 	// Queued records when the request entered the queue, for queueing
 	// delay accounting.
 	Queued sim.Time
+
+	// DepthAtSubmit and WritesAhead snapshot the queue state at Submit
+	// (before this request was inserted): total pending requests, and
+	// pending writes specifically. The span layer uses them to attribute
+	// queueing delay — a read with WritesAhead > 0 was queued behind
+	// write-back traffic. Always populated; recording them costs nothing.
+	DepthAtSubmit int
+	WritesAhead   int
 }
 
 // Wait blocks p until the request completes and returns its total latency
@@ -144,6 +152,8 @@ func (q *Queue) Submit(req *Request) {
 		req.Done = sim.NewEvent(q.env)
 	}
 	req.Queued = q.env.Now()
+	req.DepthAtSubmit = q.Depth()
+	req.WritesAhead = len(q.writes)
 	if req.Write {
 		q.writes = append(q.writes, req)
 	} else {

@@ -1,0 +1,27 @@
+package span
+
+import (
+	"time"
+
+	"tracklog/internal/disk"
+)
+
+// FromResult converts a successful disk command's measured phase breakdown
+// into a CommandBreakdown. The drive model guarantees the result's phase
+// durations sum (with transfer) to exactly End-Start, so the derived spans
+// tile the command's service interval with no unattributed time. rotPeriod
+// is the drive's revolution time, stamped on the rotational-wait span so
+// analyzers can classify full-rotation prediction misses.
+func FromResult(res *disk.Result, rotPeriod time.Duration) CommandBreakdown {
+	return CommandBreakdown{
+		Start:      int64(res.Start),
+		Turnaround: int64(res.Turnaround),
+		Overhead:   int64(res.Overhead),
+		Seek:       int64(res.Seek),
+		HeadSwitch: int64(res.Switch),
+		Settle:     int64(res.Settle),
+		RotWait:    int64(res.Rotate),
+		Transfer:   int64(res.Transfer),
+		RotPeriod:  int64(rotPeriod),
+	}
+}

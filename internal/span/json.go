@@ -1,0 +1,65 @@
+package span
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Deterministic JSON span dump. Hand-rolled like the Chrome exporter: all
+// numbers are integers (virtual ns), field order is fixed, requests appear
+// in completion order and spans in attribution order, so two same-seed runs
+// produce byte-identical files.
+
+// WriteJSON writes every retained request as one JSON document:
+//
+//	{"version":1,"dropped":0,"requests":[
+//	  {"id":1,"kind":"write","driver":"trail","dev":"data0","lba":128,
+//	   "count":2,"start_ns":0,"end_ns":1510000,"err":0,
+//	   "spans":[{"phase":"queue","start_ns":0,"end_ns":9000,"a":1,"b":0},...]},
+//	  ...]}
+//
+// A nil recorder writes an empty but valid dump.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "{\"version\":1,\"dropped\":%d,\"requests\":[", r.Dropped())
+	for i, req := range r.Requests() {
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteByte('\n')
+		writeRequest(bw, req)
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+func writeRequest(bw *bufio.Writer, r *Request) {
+	errBit := 0
+	if r.Err {
+		errBit = 1
+	}
+	fmt.Fprintf(bw, `{"id":%d,"kind":%s,"driver":%s,"dev":%s,"lba":%d,"count":%d,"start_ns":%d,"end_ns":%d,"err":%d`,
+		r.ID, strconv.Quote(r.Kind.String()), strconv.Quote(r.Driver), strconv.Quote(r.Dev),
+		r.LBA, r.Count, r.Start, r.End, errBit)
+	if len(r.Flows) > 0 {
+		bw.WriteString(`,"flows":[`)
+		for i, f := range r.Flows {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			fmt.Fprintf(bw, "%d", f)
+		}
+		bw.WriteByte(']')
+	}
+	bw.WriteString(`,"spans":[`)
+	for i, s := range r.Spans {
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		fmt.Fprintf(bw, `{"phase":%s,"start_ns":%d,"end_ns":%d,"a":%d,"b":%d}`,
+			strconv.Quote(s.Phase.String()), s.Start, s.End, s.A, s.B)
+	}
+	bw.WriteString("]}")
+}

@@ -1,0 +1,328 @@
+// Package span records each I/O request's full lifecycle as a small span
+// tree in virtual nanoseconds: a root request (submit → ack) whose child
+// spans partition its latency into queueing, log-track switches, retries,
+// mechanical phases (turnaround, overhead, seek, head switch, settle,
+// rotational wait, transfer) and recovery stages.
+//
+// The invariant the instrumented drivers maintain — and the test suite
+// asserts — is exact attribution: child spans are non-overlapping, laid out
+// chronologically, and their durations sum to the request's end-to-end
+// latency. There is no unattributed time, because the simulator's clock is
+// virtual and every wait has a single owner.
+//
+// Like trace.Tracer, the recorder is disabled by being nil: every method on
+// *Recorder and on the *Req handle is nil-receiver-safe and a disabled run
+// allocates nothing and touches nothing. Recording never advances the
+// virtual clock, so traced and untraced runs are timestamp-identical.
+package span
+
+// Phase identifies what a child span's interval was spent on.
+type Phase uint8
+
+const (
+	// PQueue is time between submission (or the end of the previous
+	// attempt) and the device starting to serve the request: scheduler
+	// queue, log-writer batching delay, and arm contention. A = queue depth
+	// at submit, B = writes ahead of a read (write-back interference).
+	PQueue Phase = iota
+	// PTrackSwitch is log-writer repositioning (track advance + reference
+	// re-read) that overlapped this request's wait.
+	PTrackSwitch
+	// PRetry is one failed device command attempt, submit-to-error; the
+	// successful attempt's phases follow it. A = attempt number (1-based).
+	PRetry
+	// PTurnaround is the read/write transducer turnaround penalty.
+	PTurnaround
+	// POverhead is fixed command processing overhead.
+	POverhead
+	// PSeek is arm movement.
+	PSeek
+	// PHeadSwitch is head-switch time between tracks of a cylinder.
+	PHeadSwitch
+	// PSettle is write settle time.
+	PSettle
+	// PRotWait is rotational latency. A = the disk's rotation period in ns
+	// (when known), so analyzers can tell a predicted-miss full rotation
+	// from in-budget fractions.
+	PRotWait
+	// PTransfer is media transfer time.
+	PTransfer
+	// PStaging marks a read served instantly from the staging buffer.
+	PStaging
+	// PLocate is recovery phase 1: locating the youngest log record.
+	PLocate
+	// PRebuild is recovery phase 2: rebuilding the staging buffer.
+	PRebuild
+	// PWriteBack is recovery phase 3: replaying pending write-backs.
+	PWriteBack
+	// PSubRead is an array member read sub-operation. A = member index.
+	PSubRead
+	// PSubWrite is an array member write sub-operation. A = member index.
+	PSubWrite
+
+	numPhases
+)
+
+var phaseNames = [numPhases]string{
+	"queue", "trackswitch", "retry", "turnaround", "overhead", "seek",
+	"headswitch", "settle", "rotwait", "transfer", "staging",
+	"locate", "rebuild", "writeback", "subread", "subwrite",
+}
+
+func (p Phase) String() string {
+	if int(p) < len(phaseNames) {
+		return phaseNames[p]
+	}
+	return "phase?"
+}
+
+// Kind identifies the request type at the root of a span tree.
+type Kind uint8
+
+const (
+	KWrite     Kind = iota // client synchronous write
+	KRead                  // client read
+	KWriteback             // background staging write-back flight
+	KRecover               // crash recovery pass
+)
+
+var kindNames = [...]string{"write", "read", "writeback", "recover"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "kind?"
+}
+
+// Span is one attributed interval of a request's life. Start and End are
+// virtual nanoseconds; A and B are phase-specific attributes (see Phase).
+type Span struct {
+	Phase      Phase
+	Start, End int64
+	A, B       int64
+}
+
+// Dur returns the span's duration in ns.
+func (s Span) Dur() int64 { return s.End - s.Start }
+
+// Request is one completed request's span tree.
+type Request struct {
+	ID     int64
+	Kind   Kind
+	Driver string // "trail", "std", "raid"
+	Dev    string // device/track name, e.g. "data0"
+	LBA    int64
+	Count  int
+	Start  int64 // submit instant, virtual ns
+	End    int64 // ack instant, virtual ns
+	Err    bool
+	Flows  []int64 // IDs of upstream requests this one commits (write-back)
+	Spans  []Span
+}
+
+// Latency returns end-to-end request latency in ns.
+func (r *Request) Latency() int64 { return r.End - r.Start }
+
+// Attributed returns the total duration covered by child spans.
+func (r *Request) Attributed() int64 {
+	var sum int64
+	for _, s := range r.Spans {
+		sum += s.Dur()
+	}
+	return sum
+}
+
+// PhaseTotal returns the summed duration of one phase across the request.
+func (r *Request) PhaseTotal(p Phase) int64 {
+	var sum int64
+	for _, s := range r.Spans {
+		if s.Phase == p {
+			sum += s.Dur()
+		}
+	}
+	return sum
+}
+
+// DefaultCapacity is the recorder's default request ring size.
+const DefaultCapacity = 1 << 14
+
+// Recorder buffers completed request span trees in a fixed-size ring;
+// when full, the oldest completed request is evicted. A nil *Recorder is a
+// valid disabled recorder.
+type Recorder struct {
+	capn    int
+	nextID  int64
+	reqs    []*Request // ring storage
+	head    int        // index of oldest element once the ring wrapped
+	wrapped bool
+	dropped int64
+}
+
+// NewRecorder returns a recorder retaining up to capacity completed
+// requests (<= 0 selects DefaultCapacity).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Recorder{capn: capacity}
+}
+
+// Len returns the number of retained completed requests.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	if r.wrapped {
+		return r.capn
+	}
+	return len(r.reqs)
+}
+
+// Dropped returns how many completed requests were evicted.
+func (r *Recorder) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.dropped
+}
+
+// Requests returns the retained requests in completion order (oldest
+// first). The slice is freshly allocated; the Request pointers are shared.
+func (r *Recorder) Requests() []*Request {
+	if r == nil || len(r.reqs) == 0 {
+		return nil
+	}
+	if !r.wrapped {
+		out := make([]*Request, len(r.reqs))
+		copy(out, r.reqs)
+		return out
+	}
+	out := make([]*Request, 0, r.capn)
+	out = append(out, r.reqs[r.head:]...)
+	out = append(out, r.reqs[:r.head]...)
+	return out
+}
+
+// Start opens a new request span tree at virtual instant `at` and returns a
+// handle for attributing its phases. On a nil recorder it returns nil, and
+// every method on a nil handle is a no-op — callers never need to check.
+func (r *Recorder) Start(kind Kind, driver, dev string, lba int64, count int, at int64) *Req {
+	if r == nil {
+		return nil
+	}
+	r.nextID++
+	return &Req{rec: r, r: &Request{
+		ID: r.nextID, Kind: kind, Driver: driver, Dev: dev,
+		LBA: lba, Count: count, Start: at,
+	}}
+}
+
+// add stores a completed request in the ring.
+func (r *Recorder) add(req *Request) {
+	if !r.wrapped && len(r.reqs) < r.capn {
+		r.reqs = append(r.reqs, req)
+		return
+	}
+	r.wrapped = true
+	r.reqs[r.head] = req
+	r.head++
+	if r.head == r.capn {
+		r.head = 0
+	}
+	r.dropped++
+}
+
+// Req is the in-flight handle for one request being attributed. A nil *Req
+// (from a disabled recorder) absorbs every call.
+type Req struct {
+	rec *Recorder
+	r   *Request
+}
+
+// ID returns the request's id, or 0 on a nil handle.
+func (q *Req) ID() int64 {
+	if q == nil {
+		return 0
+	}
+	return q.r.ID
+}
+
+// Child records one attributed interval. Empty and negative intervals are
+// dropped, so callers can attribute unconditionally.
+func (q *Req) Child(p Phase, start, end int64) { q.ChildAB(p, start, end, 0, 0) }
+
+// ChildAB is Child with the phase-specific attributes set.
+func (q *Req) ChildAB(p Phase, start, end, a, b int64) {
+	if q == nil || end <= start {
+		return
+	}
+	q.r.Spans = append(q.r.Spans, Span{Phase: p, Start: start, End: end, A: a, B: b})
+}
+
+// Point records a zero-duration marker span (e.g. a staging-buffer hit).
+func (q *Req) Point(p Phase, at, a, b int64) {
+	if q == nil {
+		return
+	}
+	q.r.Spans = append(q.r.Spans, Span{Phase: p, Start: at, End: at, A: a, B: b})
+}
+
+// Flow links an upstream request id into this one (a write-back names the
+// client writes whose data it commits); exporters draw these as arrows.
+func (q *Req) Flow(from int64) {
+	if q == nil || from == 0 {
+		return
+	}
+	q.r.Flows = append(q.r.Flows, from)
+}
+
+// CommandBreakdown is the mechanical phase decomposition of one successful
+// disk command, as reported by the drive model. All values are ns; zero
+// phases are skipped. The phases are laid out consecutively from Start in
+// the drive's service order, so they exactly tile [Start, Start+sum).
+type CommandBreakdown struct {
+	Start      int64
+	Turnaround int64
+	Overhead   int64
+	Seek       int64
+	HeadSwitch int64
+	Settle     int64
+	RotWait    int64
+	Transfer   int64
+	// RotPeriod is the disk's rotation period, recorded on the rot-wait
+	// span so analyzers can classify full-rotation misses. 0 = unknown.
+	RotPeriod int64
+}
+
+// Command attributes one successful device command's mechanical phases.
+func (q *Req) Command(c CommandBreakdown) {
+	if q == nil {
+		return
+	}
+	cur := c.Start
+	add := func(p Phase, d, a int64) {
+		if d > 0 {
+			q.r.Spans = append(q.r.Spans, Span{Phase: p, Start: cur, End: cur + d, A: a})
+			cur += d
+		}
+	}
+	add(PTurnaround, c.Turnaround, 0)
+	add(POverhead, c.Overhead, 0)
+	add(PSeek, c.Seek, 0)
+	add(PHeadSwitch, c.HeadSwitch, 0)
+	add(PSettle, c.Settle, 0)
+	add(PRotWait, c.RotWait, c.RotPeriod)
+	add(PTransfer, c.Transfer, 0)
+}
+
+// Finish closes the request at virtual instant end and commits it to the
+// recorder's ring.
+func (q *Req) Finish(end int64, err bool) {
+	if q == nil {
+		return
+	}
+	q.r.End = end
+	q.r.Err = err
+	q.rec.add(q.r)
+}

@@ -1,0 +1,287 @@
+package span
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// A disabled recorder is a nil pointer; every call must be a no-op.
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	q := r.Start(KWrite, "trail", "data0", 0, 2, 0)
+	if q != nil {
+		t.Fatal("nil recorder returned a live handle")
+	}
+	q.Child(PQueue, 0, 10)
+	q.ChildAB(PRotWait, 10, 20, 1, 2)
+	q.Point(PStaging, 5, 0, 0)
+	q.Flow(3)
+	q.Command(CommandBreakdown{Start: 0, Transfer: 100})
+	q.Finish(100, false)
+	if q.ID() != 0 {
+		t.Fatal("nil handle has an id")
+	}
+	if r.Len() != 0 || r.Dropped() != 0 || r.Requests() != nil {
+		t.Fatal("nil recorder accumulated state")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"requests":[`) {
+		t.Fatalf("nil recorder JSON invalid: %s", buf.String())
+	}
+	if err := r.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func record(r *Recorder, id int) {
+	q := r.Start(KWrite, "trail", "data0", int64(id)*8, 2, int64(id)*1000)
+	q.ChildAB(PQueue, int64(id)*1000, int64(id)*1000+200, 3, 0)
+	q.Command(CommandBreakdown{
+		Start: int64(id)*1000 + 200, Overhead: 50, RotWait: 100, Transfer: 150, RotPeriod: 11111,
+	})
+	q.Finish(int64(id)*1000+500, false)
+}
+
+func TestRingEviction(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 1; i <= 6; i++ {
+		record(r, i)
+	}
+	if r.Len() != 4 || r.Dropped() != 2 {
+		t.Fatalf("len=%d dropped=%d, want 4/2", r.Len(), r.Dropped())
+	}
+	reqs := r.Requests()
+	if reqs[0].ID != 3 || reqs[3].ID != 6 {
+		t.Fatalf("ring order wrong: first=%d last=%d", reqs[0].ID, reqs[3].ID)
+	}
+}
+
+// The command breakdown must tile exactly: phases contiguous from Start,
+// summing to the attributed total.
+func TestCommandTiling(t *testing.T) {
+	r := NewRecorder(0)
+	q := r.Start(KWrite, "trail", "data0", 0, 2, 0)
+	q.Child(PQueue, 0, 70)
+	q.Command(CommandBreakdown{
+		Start: 70, Turnaround: 10, Overhead: 20, Seek: 0, HeadSwitch: 5,
+		Settle: 0, RotWait: 40, Transfer: 55,
+	})
+	q.Finish(200, false)
+	req := r.Requests()[0]
+	if got := req.Attributed(); got != 200 {
+		t.Fatalf("attributed = %d, want 200", got)
+	}
+	// Contiguity: each span starts where the previous ended.
+	cur := int64(0)
+	for i, s := range req.Spans {
+		if s.Start != cur {
+			t.Fatalf("span %d (%v) starts at %d, want %d", i, s.Phase, s.Start, cur)
+		}
+		cur = s.End
+	}
+	if cur != req.End {
+		t.Fatalf("spans end at %d, request at %d", cur, req.End)
+	}
+	// Zero phases (seek, settle) must be absent.
+	for _, s := range req.Spans {
+		if s.Phase == PSeek || s.Phase == PSettle {
+			t.Fatalf("zero-duration phase %v recorded", s.Phase)
+		}
+	}
+}
+
+func TestWriteJSONDeterministic(t *testing.T) {
+	mk := func() *bytes.Buffer {
+		r := NewRecorder(8)
+		for i := 1; i <= 12; i++ { // forces eviction too
+			record(r, i)
+		}
+		wb := r.Start(KWriteback, "trail", "data0", 8, 2, 20000)
+		wb.Flow(3)
+		wb.Child(PQueue, 20000, 20100)
+		wb.Command(CommandBreakdown{Start: 20100, Seek: 300, RotWait: 200, Transfer: 100})
+		wb.Finish(20700, false)
+		var buf bytes.Buffer
+		if err := r.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return &buf
+	}
+	a, b := mk(), mk()
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two identical recordings produced different JSON")
+	}
+	for _, frag := range []string{
+		`"kind":"writeback"`, `"flows":[3]`, `"phase":"rotwait"`, `"dropped":5`,
+	} {
+		if !strings.Contains(a.String(), frag) {
+			t.Errorf("JSON missing %q", frag)
+		}
+	}
+}
+
+func TestAnalyzeBudget(t *testing.T) {
+	r := NewRecorder(0)
+	for i := 1; i <= 10; i++ {
+		record(r, i)
+	}
+	// One read on another driver to check grouping.
+	q := r.Start(KRead, "std", "disk0", 0, 8, 0)
+	q.ChildAB(PQueue, 0, 1000, 2, 1)
+	q.Command(CommandBreakdown{Start: 1000, Seek: 5000, RotWait: 3000, Transfer: 1000})
+	q.Finish(10000, false)
+
+	b := Analyze(r.Requests())
+	if len(b.Groups) != 2 {
+		t.Fatalf("groups = %d, want 2", len(b.Groups))
+	}
+	// Sorted by key: std/read < trail/write.
+	if b.Groups[0].Key != "std/read" || b.Groups[1].Key != "trail/write" {
+		t.Fatalf("group order: %s, %s", b.Groups[0].Key, b.Groups[1].Key)
+	}
+	g := b.Group("trail/write")
+	if g.Count != 10 || g.Errors != 0 {
+		t.Fatalf("trail/write count=%d errors=%d", g.Count, g.Errors)
+	}
+	if g.Unattributed != 0 {
+		t.Fatalf("unattributed = %v, want 0", g.Unattributed)
+	}
+	// Phase rows in declaration order; queue must be first.
+	if g.Phases[0].Phase != PQueue {
+		t.Fatalf("first phase = %v", g.Phases[0].Phase)
+	}
+	var share float64
+	for _, pb := range g.Phases {
+		share += g.Share(pb)
+	}
+	if share < 0.999 || share > 1.001 {
+		t.Fatalf("phase shares sum to %v, want 1", share)
+	}
+	// Transfer mean: each request has exactly 150ns of transfer.
+	for _, pb := range g.Phases {
+		if pb.Phase == PTransfer && pb.PerReq.Mean() != 150 {
+			t.Fatalf("transfer mean/req = %v, want 150ns", pb.PerReq.Mean())
+		}
+	}
+	if !strings.Contains(b.String(), "span budget: trail/write") {
+		t.Fatalf("budget String missing group:\n%s", b.String())
+	}
+}
+
+func TestExplainTailCauses(t *testing.T) {
+	r := NewRecorder(0)
+	rot := int64(11_111_111) // ~5400 RPM period
+	// 20 fast, well-predicted writes.
+	for i := 1; i <= 20; i++ {
+		q := r.Start(KWrite, "trail", "data0", int64(i), 2, int64(i)*100000)
+		q.Child(PQueue, int64(i)*100000, int64(i)*100000+100)
+		q.Command(CommandBreakdown{Start: int64(i)*100000 + 100, Overhead: 300, RotWait: 500, Transfer: 400, RotPeriod: rot})
+		q.Finish(int64(i)*100000+1300, false)
+	}
+	// One misprediction: near-full rotation.
+	q := r.Start(KWrite, "trail", "data0", 99, 2, 5_000_000)
+	q.Child(PQueue, 5_000_000, 5_000_100)
+	q.Command(CommandBreakdown{Start: 5_000_100, Overhead: 300, RotWait: rot - 1000, Transfer: 400, RotPeriod: rot})
+	q.Finish(5_000_100+300+rot-1000+400, false)
+	// One read stuck behind write-back.
+	qr := r.Start(KRead, "trail", "data0", 50, 8, 6_000_000)
+	qr.ChildAB(PQueue, 6_000_000, 6_020_000, 5, 4)
+	qr.Command(CommandBreakdown{Start: 6_020_000, Seek: 2000, RotWait: 1000, Transfer: 2000, RotPeriod: rot})
+	qr.Finish(6_025_000, false)
+
+	rep := ExplainTail(r.Requests(), 0.10)
+	if len(rep.Entries) != 2 {
+		t.Fatalf("tail entries = %d, want 2", len(rep.Entries))
+	}
+	// Slowest first: the mispredicted write.
+	if rep.Entries[0].Cause != "rotational miss after misprediction" {
+		t.Fatalf("entry 0 cause = %q", rep.Entries[0].Cause)
+	}
+	if rep.Entries[0].Dominant != PRotWait {
+		t.Fatalf("entry 0 dominant = %v", rep.Entries[0].Dominant)
+	}
+	if got := rep.Entries[1].Cause; got != "queued behind write-back burst (4 writes ahead)" {
+		t.Fatalf("entry 1 cause = %q", got)
+	}
+	if rep.Causes.Get("rotational miss after misprediction") != 1 {
+		t.Fatalf("cause histogram: %s", rep.Causes)
+	}
+	if !strings.Contains(rep.String(), "misprediction") {
+		t.Fatalf("report String:\n%s", rep)
+	}
+}
+
+func TestExplainRetryAndErrorCauses(t *testing.T) {
+	r := NewRecorder(0)
+	q := r.Start(KWrite, "trail", "data0", 0, 2, 0)
+	q.Child(PQueue, 0, 100)
+	q.ChildAB(PRetry, 100, 5000, 1, 0)
+	q.Child(PQueue, 5000, 5100)
+	q.Command(CommandBreakdown{Start: 5100, Overhead: 300, Transfer: 400})
+	q.Finish(5800, false)
+	qe := r.Start(KRead, "std", "disk0", 4, 1, 0)
+	qe.Child(PQueue, 0, 50)
+	qe.ChildAB(PRetry, 50, 900, 1, 0)
+	qe.Finish(900, true)
+
+	rep := ExplainTail(r.Requests(), 1.0)
+	byID := map[int64]TailEntry{}
+	for _, e := range rep.Entries {
+		byID[e.Req.ID] = e
+	}
+	if got := byID[1].Cause; got != "faulted: 1 command attempt(s) retried" {
+		t.Fatalf("retry cause = %q", got)
+	}
+	if got := byID[2].Cause; got != "failed: gave up after retries" {
+		t.Fatalf("error cause = %q", got)
+	}
+}
+
+// Chrome export must be deterministic and structurally sound (async pairs
+// balance; tracecheck does the deeper validation in CI).
+func TestWriteChromeDeterministic(t *testing.T) {
+	mk := func() string {
+		r := NewRecorder(0)
+		for i := 1; i <= 3; i++ {
+			record(r, i)
+		}
+		wb := r.Start(KWriteback, "trail", "data0", 8, 2, 9000)
+		wb.Flow(2)
+		wb.Child(PQueue, 9000, 9100)
+		wb.Command(CommandBreakdown{Start: 9100, Seek: 100, Transfer: 100})
+		wb.Finish(9300, false)
+		var buf bytes.Buffer
+		if err := r.WriteChrome(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a, b := mk(), mk()
+	if a != b {
+		t.Fatal("chrome export differs across identical recordings")
+	}
+	if strings.Count(a, `"ph":"b"`) != strings.Count(a, `"ph":"e"`) {
+		t.Fatal("unbalanced async begin/end")
+	}
+	if strings.Count(a, `"ph":"s"`) != 1 || strings.Count(a, `"ph":"f"`) != 1 {
+		t.Fatalf("flow events wrong:\n%s", a)
+	}
+}
+
+func TestPhaseAndKindStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for p := Phase(0); p < numPhases; p++ {
+		s := p.String()
+		if s == "" || s == "phase?" || seen[s] {
+			t.Fatalf("phase %d has bad/duplicate name %q", p, s)
+		}
+		seen[s] = true
+	}
+	if KWrite.String() != "write" || KRecover.String() != "recover" {
+		t.Fatal("kind names wrong")
+	}
+}

@@ -7,11 +7,13 @@ package stddisk
 
 import (
 	"fmt"
+	"time"
 
 	"tracklog/internal/blockdev"
 	"tracklog/internal/disk"
 	"tracklog/internal/sched"
 	"tracklog/internal/sim"
+	"tracklog/internal/span"
 	"tracklog/internal/trace"
 )
 
@@ -38,6 +40,10 @@ type Device struct {
 
 	tr     *trace.Tracer
 	trName string
+
+	rec     *span.Recorder
+	recName string
+	rot     time.Duration
 }
 
 var _ blockdev.Device = (*Device)(nil)
@@ -74,16 +80,43 @@ func (d *Device) SetTracer(tr *trace.Tracer, name string) {
 // Stats returns a copy of the fault-handling counters.
 func (d *Device) Stats() Stats { return d.stats }
 
+// SetRecorder attaches a span recorder under the given device name (nil
+// detaches): every client command becomes one span tree whose children —
+// queue wait, retries, and the drive's mechanical phases — exactly tile its
+// end-to-end latency.
+func (d *Device) SetRecorder(rec *span.Recorder, name string) {
+	d.rec = rec
+	d.recName = name
+	d.rot = d.queue.Disk().Params().RotPeriod()
+}
+
 // do issues one command with bounded retry on transient failures. Each
 // retry is a full re-issue through the scheduler, so the head repositions
 // onto the target again exactly as a real driver's retried command would.
 func (d *Device) do(p *sim.Proc, verb string, mk func() *sched.Request) (*sched.Request, error) {
+	var rq *span.Req
+	var cursor int64 // attribution frontier: all time before it is accounted
 	for attempt := 0; ; attempt++ {
 		req := mk()
+		if d.rec != nil && attempt == 0 {
+			kind := span.KRead
+			if req.Write {
+				kind = span.KWrite
+			}
+			cursor = int64(p.Now())
+			rq = d.rec.Start(kind, "std", d.recName, req.LBA, req.Count, cursor)
+		}
 		d.queue.Do(p, req)
+		res := req.Result
+		rq.ChildAB(span.PQueue, cursor, int64(res.Start),
+			int64(req.DepthAtSubmit), int64(req.WritesAhead))
 		if req.Err == nil {
+			rq.Command(span.FromResult(&res, d.rot))
+			rq.Finish(int64(res.End), false)
 			return req, nil
 		}
+		rq.ChildAB(span.PRetry, int64(res.Start), int64(res.End), int64(attempt+1), 0)
+		cursor = int64(res.End)
 		if blockdev.IsTransient(req.Err) && attempt < maxRetries {
 			d.stats.Retries++
 			if d.tr != nil {
@@ -93,6 +126,7 @@ func (d *Device) do(p *sim.Proc, verb string, mk func() *sched.Request) (*sched.
 			continue
 		}
 		d.stats.Failures++
+		rq.Finish(int64(res.End), true)
 		return nil, fmt.Errorf("stddisk %v %s (attempt %d): %w", d.id, verb, attempt+1, req.Err)
 	}
 }

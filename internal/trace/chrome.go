@@ -1,90 +1,43 @@
 package trace
 
 import (
-	"bufio"
 	"fmt"
 	"io"
 	"strconv"
-	"strings"
 )
 
-// Chrome trace-event export. The output is the JSON Object Format of the
-// Chrome trace-event specification ({"traceEvents": [...]}), loadable in
-// Perfetto (ui.perfetto.dev) and chrome://tracing. Each Track (device or
+// Chrome trace-event export. The output is loadable in Perfetto
+// (ui.perfetto.dev) and chrome://tracing. Each Track (device or kernel
 // process) becomes one named thread under a single process; events with a
 // duration become complete ("X") events, instants become instant ("i")
-// events.
-//
-// The writer is hand-rolled rather than encoding/json so the byte stream is
-// fully deterministic: timestamps are virtual nanoseconds rendered as
-// microseconds with exactly three decimal places, field order is fixed, and
-// no floating-point formatting is involved anywhere.
+// events. The byte-level formatting rules live in ChromeWriter.
 
 // WriteChrome writes the buffered events to w in Chrome trace-event JSON.
 // On a nil tracer it writes an empty but valid trace.
 func (t *Tracer) WriteChrome(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
-		return err
-	}
-	first := true
-	emit := func(line string) {
-		if !first {
-			bw.WriteString(",\n")
-		}
-		first = false
-		bw.WriteString(line)
-	}
+	cw := NewChromeWriter(w)
+	t.EmitChrome(cw)
+	return cw.Close()
+}
 
-	// Name the process and one thread per track, in first-appearance order
-	// so tids are stable across runs.
-	emit(`{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"tracklog-sim"}}`)
-	tids := make(map[string]int)
-	for i, track := range t.Tracks() {
-		tid := i + 1
-		tids[track] = tid
-		emit(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":%s}}`,
-			tid, quoteJSON(track)))
+// EmitChrome emits the buffered events into an existing ChromeWriter, so the
+// event trace can share a file with other emitters (the span exporter).
+// Nil-safe: a nil tracer emits nothing.
+func (t *Tracer) EmitChrome(cw *ChromeWriter) {
+	// Register every track up front, in first-appearance order, so tids are
+	// stable across runs regardless of event interleaving.
+	for _, track := range t.Tracks() {
+		cw.TID(track)
 	}
-
 	for _, ev := range t.Events() {
-		tid := tids[ev.Track]
-		var b strings.Builder
-		fmt.Fprintf(&b, `{"name":%s,"cat":"sim","ph":"%s","ts":%s`,
-			quoteJSON(ev.Kind.String()), phase(ev), usec(ev.At))
+		tid := cw.TID(ev.Track)
+		args := fmt.Sprintf(`{"lba":%d,"count":%d,"a":%d,"b":%d}`, ev.LBA, ev.Count, ev.A, ev.B)
 		if ev.Dur > 0 {
-			fmt.Fprintf(&b, `,"dur":%s`, usec(ev.Dur))
+			cw.Complete(ev.Kind.String(), "sim", tid, ev.At, ev.Dur, args)
+		} else {
+			cw.Instant(ev.Kind.String(), "sim", tid, ev.At, args)
 		}
-		fmt.Fprintf(&b, `,"pid":1,"tid":%d`, tid)
-		if ev.Dur == 0 {
-			b.WriteString(`,"s":"t"`) // instant scope: thread
-		}
-		fmt.Fprintf(&b, `,"args":{"lba":%d,"count":%d,"a":%d,"b":%d}}`,
-			ev.LBA, ev.Count, ev.A, ev.B)
-		emit(b.String())
 	}
-	if _, err := bw.WriteString("\n]}\n"); err != nil {
-		return err
-	}
-	return bw.Flush()
-}
-
-// phase maps an event to its Chrome trace-event phase type.
-func phase(ev Event) string {
-	if ev.Dur > 0 {
-		return "X"
-	}
-	return "i"
-}
-
-// usec renders ns as microseconds with exactly three decimals ("1234.567"),
-// with no float formatting.
-func usec(ns int64) string {
-	neg := ""
-	if ns < 0 {
-		neg, ns = "-", -ns
-	}
-	return fmt.Sprintf("%s%d.%03d", neg, ns/1000, ns%1000)
 }
 
 // quoteJSON quotes a string for JSON output (tracks and event names are

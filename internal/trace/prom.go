@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text-exposition export. The sampler's registered gauges (their
+// most recent sampled value) and an optional counter snapshot render in the
+// text format scrapers and pushgateways accept. Output ordering is fully
+// deterministic: gauges appear in registration (column) order, counters in
+// sorted-name order, and all numbers use the same deterministic formatting
+// as the CSV/JSON exports.
+
+// promPrefix namespaces every exported metric.
+const promPrefix = "tracklog_"
+
+// WriteProm writes the latest sample of each gauge plus the given counter
+// snapshot (may be nil) in Prometheus text exposition format. Gauge columns
+// named like "log0.queue_depth" become "tracklog_log0_queue_depth"; counter
+// names additionally get a "_total" suffix if they lack one, per convention.
+// A nil or empty sampler exports only the virtual-time gauge and counters.
+func (s *Sampler) WriteProm(w io.Writer, counters map[string]int64) error {
+	bw := bufio.NewWriter(w)
+	emit := func(name, typ, help, val string) {
+		fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s %s\n%s %s\n", name, help, name, typ, name, val)
+	}
+	var at int64
+	if s.Rows() > 0 {
+		at = s.rows[len(s.rows)-1].at
+	}
+	emit(promPrefix+"time_ms", "gauge", "Virtual time of the exported sample, in milliseconds.", msec(at))
+	if s != nil && len(s.rows) > 0 {
+		last := s.rows[len(s.rows)-1]
+		for i, n := range s.names {
+			emit(promPrefix+promName(n), "gauge",
+				fmt.Sprintf("Last sampled value of gauge %q.", n), fmtVal(last.vals[i]))
+		}
+	}
+	names := make([]string, 0, len(counters))
+	for n := range counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := promPrefix + promName(n)
+		if !strings.HasSuffix(pn, "_total") {
+			pn += "_total"
+		}
+		emit(pn, "counter", fmt.Sprintf("Value of counter %q.", n),
+			strconv.FormatInt(counters[n], 10))
+	}
+	return bw.Flush()
+}
+
+// promName maps an internal metric name onto the Prometheus identifier
+// charset [a-zA-Z0-9_]; every other rune becomes '_'.
+func promName(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// ParseProm parses Prometheus text exposition format (as written by
+// WriteProm) back into a name→value map, for round-trip tests and tooling.
+// Comment and blank lines are skipped; labels are not supported.
+func ParseProm(r io.Reader) (map[string]float64, error) {
+	vals := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		name, val, ok := strings.Cut(text, " ")
+		if !ok {
+			return nil, fmt.Errorf("prom line %d: no value in %q", line, text)
+		}
+		f, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil {
+			return nil, fmt.Errorf("prom line %d: %v", line, err)
+		}
+		if _, dup := vals[name]; dup {
+			return nil, fmt.Errorf("prom line %d: duplicate metric %q", line, name)
+		}
+		vals[name] = f
+	}
+	return vals, sc.Err()
+}

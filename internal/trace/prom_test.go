@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// WriteProm → ParseProm must round-trip every gauge and counter exactly, and
+// two exports of the same state must be byte-identical.
+func TestPromRoundTrip(t *testing.T) {
+	s := NewSampler("log0.queue_depth", "data0.staged_bytes", "arm-cyl")
+	s.Record(0, 1, 4096, 17)
+	s.Record(5_000_000, 3.5, 8192, 42)
+	counters := map[string]int64{
+		"trail.log_writes": 120,
+		"trail.retries":    2,
+		"reads_total":      7,
+	}
+
+	var buf bytes.Buffer
+	if err := s.WriteProm(&buf, counters); err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if err := s.WriteProm(&buf2, counters); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("two WriteProm exports of identical state differ")
+	}
+
+	vals, err := ParseProm(&buf)
+	if err != nil {
+		t.Fatalf("ParseProm: %v\n%s", err, buf2.String())
+	}
+	want := map[string]float64{
+		"tracklog_time_ms":                5.0, // latest sample instant
+		"tracklog_log0_queue_depth":       3.5,
+		"tracklog_data0_staged_bytes":     8192,
+		"tracklog_arm_cyl":                42,
+		"tracklog_trail_log_writes_total": 120,
+		"tracklog_trail_retries_total":    2,
+		"tracklog_reads_total":            7, // existing suffix not doubled
+	}
+	if len(vals) != len(want) {
+		t.Fatalf("parsed %d metrics, want %d:\n%s", len(vals), len(want), buf2.String())
+	}
+	for n, v := range want {
+		if got, ok := vals[n]; !ok || got != v {
+			t.Errorf("metric %s = %v (present=%v), want %v", n, got, ok, v)
+		}
+	}
+
+	// Counters must appear in sorted-name order.
+	out := buf2.String()
+	if strings.Index(out, "tracklog_reads_total ") > strings.Index(out, "tracklog_trail_log_writes_total ") {
+		t.Error("counters not in sorted order")
+	}
+	// TYPE lines must be present and correct.
+	for _, frag := range []string{
+		"# TYPE tracklog_log0_queue_depth gauge",
+		"# TYPE tracklog_trail_retries_total counter",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("missing %q in:\n%s", frag, out)
+		}
+	}
+}
+
+// An empty sampler (or none at all) still exports valid text with counters.
+func TestPromEmptySampler(t *testing.T) {
+	var s *Sampler
+	var buf bytes.Buffer
+	if err := s.WriteProm(&buf, map[string]int64{"x": 1}); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := ParseProm(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals["tracklog_time_ms"] != 0 || vals["tracklog_x_total"] != 1 {
+		t.Fatalf("empty-sampler export parsed as %v", vals)
+	}
+}

@@ -226,8 +226,8 @@ func TestUsecFormatting(t *testing.T) {
 		{-1500, "-1.500"},
 	}
 	for _, c := range cases {
-		if got := usec(c.ns); got != c.want {
-			t.Errorf("usec(%d) = %q, want %q", c.ns, got, c.want)
+		if got := Usec(c.ns); got != c.want {
+			t.Errorf("Usec(%d) = %q, want %q", c.ns, got, c.want)
 		}
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"tracklog/internal/metrics"
 	"tracklog/internal/sched"
 	"tracklog/internal/sim"
+	"tracklog/internal/span"
 	"tracklog/internal/trace"
 )
 
@@ -195,6 +196,14 @@ type pendingWrite struct {
 	// success).
 	retries int
 	err     error
+
+	// Span attribution (nil/zero while recording is disabled). rq is the
+	// request's span tree; cursor is the attribution frontier — every virtual
+	// nanosecond before it is already covered by a child span; qdepth
+	// snapshots the log queue depth at submit.
+	rq     *span.Req
+	cursor int64
+	qdepth int
 }
 
 // logDisk is the per-log-disk state: the track allocator, the head-position
@@ -236,6 +245,13 @@ type logDisk struct {
 	// trName is the tracer track this disk's events land on ("logN");
 	// empty while tracing is detached.
 	trName string
+
+	// lastRepoStart/End bound the most recent track reposition, so the span
+	// layer can carve the stall out of a pending write's queue time. Only the
+	// latest reposition is kept: a request that waited through several track
+	// switches attributes the earlier ones to queueing, which is accurate
+	// enough for blame (the request was queued behind them, not causing them).
+	lastRepoStart, lastRepoEnd int64
 }
 
 // Driver is the Trail disk subsystem driver: one or more log disks serving
@@ -272,6 +288,11 @@ type Driver struct {
 	// dataNames are the tracer track names of the data disks.
 	tr        *trace.Tracer
 	dataNames []string
+
+	// rec records per-request span trees when attached (nil otherwise);
+	// spanNames are the span device names of the data disks.
+	rec       *span.Recorder
+	spanNames []string
 }
 
 // NewDriver initializes the Trail driver over one formatted log disk, the
@@ -397,6 +418,23 @@ func (d *Driver) SetTracer(tr *trace.Tracer) {
 	}
 }
 
+// SetRecorder attaches a span recorder to the driver and its data-disk read
+// path: every client write and read becomes one span tree whose children —
+// log-queue wait, track-switch stalls, retries, and the serving command's
+// mechanical phases — exactly tile its end-to-end latency. Write-back and
+// recovery record their own trees (see writebackLoop and RecoverOptions).
+// Pass nil to detach.
+func (d *Driver) SetRecorder(rec *span.Recorder) {
+	d.rec = rec
+	d.spanNames = d.spanNames[:0]
+	for i := range d.dataDisks {
+		d.spanNames = append(d.spanNames, fmt.Sprintf("data%d", i))
+	}
+}
+
+// Recorder returns the attached span recorder (nil when detached).
+func (d *Driver) Recorder() *span.Recorder { return d.rec }
+
 // Stats returns a copy of the driver counters.
 func (d *Driver) Stats() Stats { return d.stats }
 
@@ -504,6 +542,11 @@ func (d *Driver) write(p *sim.Proc, devIdx int, lba int64, count int, data []byt
 			done:   sim.NewEvent(d.env),
 			queued: p.Now(),
 		}
+		if d.rec != nil {
+			pw.qdepth = len(d.logQ)
+			pw.cursor = int64(pw.queued)
+			pw.rq = d.rec.Start(span.KWrite, "trail", d.spanNames[devIdx], pw.lba, n, pw.cursor)
+		}
 		d.logQ = append(d.logQ, pw)
 		waits = append(waits, pw)
 	}
@@ -527,6 +570,7 @@ func (d *Driver) read(p *sim.Proc, devIdx int, lba int64, count int) ([]byte, er
 	}
 	if e, ok := d.staging[bufKey{dev: devIdx, lba: lba, count: count}]; ok {
 		d.stats.ReadsFromStaging++
+		d.recordStagingHit(p, devIdx, lba, count)
 		out := make([]byte, count*geom.SectorSize)
 		copy(out, e.data)
 		return out, nil
@@ -535,19 +579,33 @@ func (d *Driver) read(p *sim.Proc, devIdx int, lba int64, count int) ([]byte, er
 	for k, e := range d.staging {
 		if k.dev == devIdx && k.lba <= lba && k.lba+int64(k.count) >= lba+int64(count) {
 			d.stats.ReadsFromStaging++
+			d.recordStagingHit(p, devIdx, lba, count)
 			off := (lba - k.lba) * geom.SectorSize
 			out := make([]byte, count*geom.SectorSize)
 			copy(out, e.data[off:])
 			return out, nil
 		}
 	}
+	var rq *span.Req
+	var cursor int64
+	if d.rec != nil {
+		cursor = int64(p.Now())
+		rq = d.rec.Start(span.KRead, "trail", d.spanNames[devIdx], lba, count, cursor)
+	}
 	for attempt := 0; ; attempt++ {
 		req := &sched.Request{LBA: lba, Count: count}
 		d.dataQueues[devIdx].Do(p, req)
+		res := req.Result
+		rq.ChildAB(span.PQueue, cursor, int64(res.Start),
+			int64(req.DepthAtSubmit), int64(req.WritesAhead))
 		if req.Err == nil {
+			rq.Command(span.FromResult(&res, d.dataDisks[devIdx].Params().RotPeriod()))
+			rq.Finish(int64(res.End), false)
 			d.overlayStaged(devIdx, lba, count, req.Data)
 			return req.Data, nil
 		}
+		rq.ChildAB(span.PRetry, int64(res.Start), int64(res.End), int64(attempt+1), 0)
+		cursor = int64(res.End)
 		if blockdev.IsTransient(req.Err) && attempt < maxReadRetries {
 			d.stats.ReadRetries++
 			if d.tr != nil {
@@ -556,8 +614,21 @@ func (d *Driver) read(p *sim.Proc, devIdx int, lba int64, count int) ([]byte, er
 			}
 			continue
 		}
+		rq.Finish(int64(res.End), true)
 		return nil, fmt.Errorf("trail %v read: %w", d.devIDs[devIdx], req.Err)
 	}
+}
+
+// recordStagingHit records a read served from host memory: a zero-latency
+// span tree whose single marker names the staging buffer as the source.
+func (d *Driver) recordStagingHit(p *sim.Proc, devIdx int, lba int64, count int) {
+	if d.rec == nil {
+		return
+	}
+	now := int64(p.Now())
+	rq := d.rec.Start(span.KRead, "trail", d.spanNames[devIdx], lba, count, now)
+	rq.Point(span.PStaging, now, 0, 0)
+	rq.Finish(now, false)
 }
 
 // overlayStaged copies any staged (newer) sectors overlapping [lba,
@@ -722,6 +793,7 @@ func (d *Driver) advanceTrack(p *sim.Proc, ld *logDisk) {
 	}
 	start := p.Now()
 	ld.refRead(p, landing)
+	ld.lastRepoStart, ld.lastRepoEnd = int64(start), int64(p.Now())
 	d.stats.Repositions++
 	d.stats.RepositionTime += p.Now().Sub(start)
 	if d.tr != nil {
@@ -850,6 +922,28 @@ func (d *Driver) takeBatch(capacity int) []*pendingWrite {
 	return batch
 }
 
+// attributeDispatch closes the span-attribution gap between pw's frontier
+// and the moment its serving log command reached the media (dispatch): the
+// wait is queue time, except the portion overlapping the log disk's latest
+// track reposition, which is carved out as a track-switch stall. Advances
+// pw.cursor to dispatch.
+func (d *Driver) attributeDispatch(pw *pendingWrite, ld *logDisk, dispatch int64) {
+	if pw.rq == nil {
+		pw.cursor = dispatch
+		return
+	}
+	depth := int64(pw.qdepth)
+	from, to := max(pw.cursor, ld.lastRepoStart), min(dispatch, ld.lastRepoEnd)
+	if from < to {
+		pw.rq.ChildAB(span.PQueue, pw.cursor, from, depth, 0)
+		pw.rq.ChildAB(span.PTrackSwitch, from, to, int64(ld.idx), 0)
+		pw.rq.ChildAB(span.PQueue, to, dispatch, depth, 0)
+	} else {
+		pw.rq.ChildAB(span.PQueue, pw.cursor, dispatch, depth, 0)
+	}
+	pw.cursor = dispatch
+}
+
 // writeRecord appends one write record holding batch at the target sector
 // of the log disk's tail track, updates the prediction reference, and
 // stages the blocks for write-back. On a fault it requeues (or fails) the
@@ -931,6 +1025,11 @@ func (d *Driver) writeRecord(p *sim.Proc, ld *logDisk, target int, batch []*pend
 	// The write is durable: release the clients, then stage the blocks
 	// for asynchronous write-back.
 	for _, pw := range batch {
+		if pw.rq != nil {
+			d.attributeDispatch(pw, ld, int64(res.Start))
+			pw.rq.Command(span.FromResult(&res, ld.disk.Params().RotPeriod()))
+			pw.rq.Finish(int64(res.End), false)
+		}
 		d.stage(pw, rec)
 		pw.done.Trigger()
 	}
@@ -942,6 +1041,13 @@ func (d *Driver) writeRecord(p *sim.Proc, ld *logDisk, target int, batch []*pend
 // head position is unknown.
 func (d *Driver) handleLogWriteFault(ld *logDisk, target int, batch []*pendingWrite, res disk.Result) {
 	ld.pred.Invalidate()
+	for _, pw := range batch {
+		if pw.rq != nil {
+			d.attributeDispatch(pw, ld, int64(res.Start))
+			pw.rq.ChildAB(span.PRetry, int64(res.Start), int64(res.End), int64(pw.retries+1), 0)
+			pw.cursor = int64(res.End)
+		}
+	}
 	err := res.Err
 	switch {
 	case errors.Is(err, blockdev.ErrDeviceFailed):
@@ -981,6 +1087,7 @@ func (d *Driver) requeueOrFail(batch []*pendingWrite, cause error) {
 		if d.failed != nil || pw.retries > maxWriteRetries {
 			pw.err = fmt.Errorf("after %d attempts: %w", pw.retries, cause)
 			d.stats.FailedWrites++
+			d.finishFailed(pw)
 			pw.done.Trigger()
 			continue
 		}
@@ -990,6 +1097,19 @@ func (d *Driver) requeueOrFail(batch []*pendingWrite, cause error) {
 		d.logQ = append(retry, d.logQ...)
 		d.logQCond.Broadcast()
 	}
+}
+
+// finishFailed closes a failed pending write's span tree: whatever time
+// remains beyond the last recorded retry is queue wait (e.g. the reference
+// re-establishment attempts after the final fault), then the tree ends in
+// error at the instant the client is released.
+func (d *Driver) finishFailed(pw *pendingWrite) {
+	if pw.rq == nil {
+		return
+	}
+	now := int64(d.env.Now())
+	pw.rq.ChildAB(span.PQueue, pw.cursor, now, int64(pw.qdepth), 0)
+	pw.rq.Finish(now, true)
 }
 
 // failLogDisk marks ld permanently dead. When it was the last live log disk
@@ -1014,6 +1134,7 @@ func (d *Driver) failLogDisk(ld *logDisk, err error) {
 	for _, pw := range d.logQ {
 		pw.err = d.failed
 		d.stats.FailedWrites++
+		d.finishFailed(pw)
 		pw.done.Trigger()
 	}
 	d.logQ = nil

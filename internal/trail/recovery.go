@@ -10,6 +10,7 @@ import (
 	"tracklog/internal/disk"
 	"tracklog/internal/geom"
 	"tracklog/internal/sim"
+	"tracklog/internal/span"
 )
 
 // RecoverOptions tunes the recovery procedure.
@@ -27,6 +28,13 @@ type RecoverOptions struct {
 	// epoch instead of stopping at the youngest record's log_head pointer
 	// (ablation for the second optimization in §3.3).
 	IgnoreLogHead bool
+	// Spans, when non-nil, records the recovery as one span tree: a single
+	// "recover" request whose children time the locate (one per crashed
+	// disk, A = disk index), rebuild, and write-back phases. The phases tile
+	// the recovery end to end — everything between them is unclocked
+	// bookkeeping — so the tree obeys the same exact-attribution invariant
+	// as the I/O paths.
+	Spans *span.Recorder
 }
 
 // PendingBlock is one data sector reconstructed from the log.
@@ -88,12 +96,14 @@ func Recover(p *sim.Proc, log *disk.Disk, devs map[blockdev.DevID]blockdev.Devic
 // sequence numbers before replay, preserving issue order.
 func RecoverLogs(p *sim.Proc, logs []*disk.Disk, devs map[blockdev.DevID]blockdev.Device, opts RecoverOptions) (*RecoverReport, error) {
 	rep := &RecoverReport{Clean: true}
+	rq := opts.Spans.Start(span.KRecover, "trail", "log", 0, len(logs), int64(p.Now()))
 	var records []*loadedRecord
 	var crashed []*disk.Disk
 	var crashedHdrs []*DiskHeader
-	for _, log := range logs {
+	for li, log := range logs {
 		hdr, err := ReadHeader(log)
 		if err != nil {
+			rq.Finish(int64(p.Now()), true)
 			return nil, err
 		}
 		if hdr.Epoch > rep.Epoch {
@@ -113,7 +123,9 @@ func RecoverLogs(p *sim.Proc, logs []*disk.Disk, devs map[blockdev.DevID]blockde
 		start := p.Now()
 		youngest, err := locateYoungest(p, log, g, usable, hdr.Epoch, opts.SequentialScan, rep)
 		rep.LocateTime += p.Now().Sub(start)
+		rq.ChildAB(span.PLocate, int64(start), int64(p.Now()), int64(li), 0)
 		if err != nil {
+			rq.Finish(int64(p.Now()), true)
 			return nil, err
 		}
 		if youngest == nil {
@@ -124,13 +136,16 @@ func RecoverLogs(p *sim.Proc, logs []*disk.Disk, devs map[blockdev.DevID]blockde
 		start = p.Now()
 		recs, torn, err := rebuildChain(p, log, hdr.Epoch, youngest, opts.IgnoreLogHead, rep)
 		rep.RebuildTime += p.Now().Sub(start)
+		rq.ChildAB(span.PRebuild, int64(start), int64(p.Now()), int64(li), 0)
 		if err != nil {
+			rq.Finish(int64(p.Now()), true)
 			return nil, err
 		}
 		rep.TornRecords += torn
 		records = append(records, recs...)
 	}
 	if rep.Clean {
+		rq.Finish(int64(p.Now()), false)
 		return rep, nil
 	}
 	rep.RecordsFound = len(records)
@@ -156,6 +171,8 @@ func RecoverLogs(p *sim.Proc, logs []*disk.Disk, devs map[blockdev.DevID]blockde
 	} else {
 		n, err := replay(p, devs, records)
 		if err != nil {
+			rq.ChildAB(span.PWriteBack, int64(start), int64(p.Now()), int64(n), 0)
+			rq.Finish(int64(p.Now()), true)
 			return nil, err
 		}
 		rep.BlocksReplayed = n
@@ -164,6 +181,8 @@ func RecoverLogs(p *sim.Proc, logs []*disk.Disk, devs map[blockdev.DevID]blockde
 		}
 	}
 	rep.WriteBackTime = p.Now().Sub(start)
+	rq.ChildAB(span.PWriteBack, int64(start), int64(p.Now()), int64(rep.BlocksReplayed), 0)
+	rq.Finish(int64(p.Now()), false)
 	return rep, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"tracklog/internal/geom"
 	"tracklog/internal/sched"
 	"tracklog/internal/sim"
+	"tracklog/internal/span"
 	"tracklog/internal/trace"
 )
 
@@ -52,6 +53,10 @@ type bufEntry struct {
 	// inQueue is true while a write-back for this key is queued (only one
 	// queued write-back per buffer: duplicate requests are skipped, §4.2).
 	inQueue bool
+	// spanIDs lists the client write spans whose data this buffer holds,
+	// awaiting a write-back flight to claim them as flow sources (empty while
+	// span recording is disabled).
+	spanIDs []int64
 }
 
 // oldestOutstanding returns the log disk's oldest not-yet-committed record,
@@ -84,6 +89,9 @@ func (d *Driver) stage(pw *pendingWrite, rec *record) {
 	e.data = pw.data
 	e.version++
 	e.refs = append(e.refs, recordRef{rec: rec, sectors: pw.count})
+	if id := pw.rq.ID(); id != 0 {
+		e.spanIDs = append(e.spanIDs, id)
+	}
 	if !e.inQueue {
 		e.inQueue = true
 		d.wbQueues[pw.devIdx].Push(key)
@@ -103,6 +111,11 @@ type wbFlight struct {
 	ver   int64
 	req   *sched.Request
 	tries int
+
+	// rq is the flight's span tree (nil while recording is disabled); cursor
+	// is its attribution frontier.
+	rq     *span.Req
+	cursor int64
 }
 
 // writebackLoop drains staged buffers of one data disk to their final
@@ -132,6 +145,17 @@ func (d *Driver) writebackLoop(p *sim.Proc, devIdx int) {
 			data := make([]byte, len(e.data))
 			copy(data, e.data)
 			f.req = &sched.Request{Write: true, LBA: key.lba, Count: e.count, Data: data}
+			if d.rec != nil {
+				f.cursor = int64(p.Now())
+				f.rq = d.rec.Start(span.KWriteback, "trail", d.spanNames[devIdx],
+					key.lba, e.count, f.cursor)
+				// Flow edges tie the flight back to the client writes whose
+				// data it commits.
+				for _, id := range e.spanIDs {
+					f.rq.Flow(id)
+				}
+				e.spanIDs = nil
+			}
 			d.dataQueues[devIdx].Submit(f.req)
 			flights = append(flights, f)
 		}
@@ -141,6 +165,7 @@ func (d *Driver) writebackLoop(p *sim.Proc, devIdx int) {
 		}
 		for _, f := range flights {
 			f.req.Done.Wait(p)
+			f.attributeWait()
 			// Transient faults get a bounded number of re-issues; each is a
 			// full round trip through the scheduler, repositioning the head.
 			for f.req.Err != nil && blockdev.IsTransient(f.req.Err) && f.tries < maxWritebackTries {
@@ -150,12 +175,16 @@ func (d *Driver) writebackLoop(p *sim.Proc, devIdx int) {
 					d.tr.Emit(trace.Event{At: int64(p.Now()), Kind: trace.KRetry,
 						Track: d.dataNames[devIdx], LBA: f.key.lba, Count: f.req.Count, A: int64(f.tries)})
 				}
+				f.attributeRetry(int64(f.tries))
 				req := &sched.Request{Write: true, LBA: f.key.lba, Count: f.req.Count, Data: f.req.Data}
 				d.dataQueues[devIdx].Submit(req)
 				req.Done.Wait(p)
 				f.req = req
+				f.attributeWait()
 			}
 			if f.req.Err != nil {
+				f.attributeRetry(int64(f.tries + 1))
+				f.rq.Finish(int64(f.req.Result.End), true)
 				// Abandon the write-back: put the record references back on
 				// the staging entry uncommitted, so the log space stays
 				// pinned and the data remains both readable (staging
@@ -164,6 +193,11 @@ func (d *Driver) writebackLoop(p *sim.Proc, devIdx int) {
 				e := f.entry
 				e.refs = append(f.refs, e.refs...)
 				continue
+			}
+			if f.rq != nil {
+				res := f.req.Result
+				f.rq.Command(span.FromResult(&res, d.dataDisks[devIdx].Params().RotPeriod()))
+				f.rq.Finish(int64(res.End), false)
 			}
 			d.stats.WriteBacks++
 			for _, ref := range f.refs {
@@ -176,6 +210,29 @@ func (d *Driver) writebackLoop(p *sim.Proc, devIdx int) {
 			}
 		}
 	}
+}
+
+// attributeWait attributes the flight's scheduler wait — from the frontier
+// to the moment the data disk started serving it — as queue time, carrying
+// the queue-state snapshot for blame.
+func (f *wbFlight) attributeWait() {
+	if f.rq == nil {
+		return
+	}
+	res := f.req.Result
+	f.rq.ChildAB(span.PQueue, f.cursor, int64(res.Start),
+		int64(f.req.DepthAtSubmit), int64(f.req.WritesAhead))
+	f.cursor = int64(res.Start)
+}
+
+// attributeRetry attributes one failed service attempt.
+func (f *wbFlight) attributeRetry(attempt int64) {
+	if f.rq == nil {
+		return
+	}
+	res := f.req.Result
+	f.rq.ChildAB(span.PRetry, int64(res.Start), int64(res.End), attempt, 0)
+	f.cursor = int64(res.End)
 }
 
 // commitRef credits a record with committed blocks; when a record is fully
