@@ -156,6 +156,28 @@ func writeBenchJSON(path string, writes int, seed uint64) error {
 			}
 		}
 	}
+	ov, err := experiments.Overload([]float64{2.0}, writes, seed)
+	if err != nil {
+		return err
+	}
+	for _, row := range ov.Rows {
+		qosStr := "off"
+		if row.QoS {
+			qosStr = "on"
+		}
+		bf.Experiments = append(bf.Experiments, benchfmt.Entry{
+			Name:   fmt.Sprintf("overload/qos=%s/%.1fx", qosStr, row.Multiplier),
+			Count:  row.Acked,
+			MeanUS: usFloat(row.Mean),
+			P50US:  usFloat(row.P50),
+			P99US:  usFloat(row.P99),
+			Counters: map[string]int64{
+				"shed":              row.Shed,
+				"deadline_exceeded": row.Expired,
+				"max_log_queue":     int64(row.MaxLogQueue),
+			},
+		})
+	}
 	return bf.WriteFile(path)
 }
 

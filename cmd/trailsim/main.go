@@ -11,6 +11,22 @@
 //	trailsim -faults latent=3,timeout=1 [-fault-seed N]          # inject media faults
 //	trailsim -faulttol [-faults SCENARIO]                        # 3-system fault comparison
 //
+// Overload (composable with -faults and the observability flags):
+//
+//	-qos                   enable the default overload policy: bounded log-queue
+//	                       admission, per-class retry budgets, write-back
+//	                       throttling, and scheduler queue bounds
+//	-deadline D            give every request a deadline of issue time + D
+//	                       (expired requests complete with ErrDeadlineExceeded
+//	                       instead of occupying the disk)
+//	-max-depth N           bound the disk scheduler queue at N requests
+//	                       (excess sheds lowest-class-first with ErrOverload)
+//	-offered-load R        open-loop mode: issue writes at R per second of
+//	                       virtual time regardless of completions, tolerating
+//	                       per-request shed/deadline outcomes
+//	-verify                with -offered-load, read back every acknowledged
+//	                       write after the run and exit nonzero if any is lost
+//
 // Observability (composable with every mode above):
 //
 //	-trace out.json        write a Chrome trace-event JSON file of the run
@@ -34,10 +50,12 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -46,6 +64,7 @@ import (
 	"tracklog/internal/experiments"
 	"tracklog/internal/fault"
 	"tracklog/internal/metrics"
+	"tracklog/internal/qos"
 	"tracklog/internal/sched"
 	"tracklog/internal/sim"
 	"tracklog/internal/span"
@@ -68,6 +87,11 @@ func main() {
 	faults := flag.String("faults", "", "fault scenario to inject on every drive (key=value terms, e.g. latent=3,timeout=1; see internal/fault)")
 	faultSeed := flag.Uint64("fault-seed", 0, "seed for fault sampling (default: -seed)")
 	faultTol := flag.Bool("faulttol", false, "run the standard/trail/raid5 fault-tolerance comparison under -faults")
+	qosOn := flag.Bool("qos", false, "enable the default overload policy (admission bounds, retry budgets, throttling)")
+	deadline := flag.Duration("deadline", 0, "per-request deadline: issue time + D (0 disables)")
+	maxDepth := flag.Int("max-depth", 0, "bound the disk scheduler queue depth (0 = unbounded)")
+	offeredLoad := flag.Float64("offered-load", 0, "open-loop write arrival rate per second of virtual time (0 = closed-loop)")
+	verify := flag.Bool("verify", false, "with -offered-load, audit acknowledged-write survival and exit nonzero on loss")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file of the run")
 	traceCap := flag.Int("trace-cap", trace.DefaultCapacity, "trace ring capacity in events")
 	sampleInterval := flag.Duration("sample-interval", 0, "sample per-device gauges every interval of virtual time (0 disables)")
@@ -88,16 +112,19 @@ func main() {
 		obs.spanOut = *spanOut
 		obs.tailFrac = *explainTail
 	}
+	pol := qosPolicy(*qosOn, *deadline, *maxDepth)
 	var err error
 	switch {
 	case *faultTol:
 		err = runFaultTol(*faults, *writes, *faultSeed)
 	case *replayFile != "":
-		err = runReplayFile(*system, *replayFile, obs)
+		err = runReplayFile(*system, *replayFile, pol, obs)
 	case *pattern != "":
-		err = runPattern(*system, *pattern, *writes, *size, *writeRatio, *seed, obs)
+		err = runPattern(*system, *pattern, *writes, *size, *writeRatio, *seed, pol, obs)
+	case *offeredLoad > 0:
+		err = runOpenLoop(*system, *size, *writes, *offeredLoad, *seed, *faults, *faultSeed, pol, *verify, obs)
 	default:
-		err = run(*system, *mode, *size, *procs, *writes, *seed, *faults, *faultSeed, obs)
+		err = run(*system, *mode, *size, *procs, *writes, *seed, *faults, *faultSeed, pol, obs)
 	}
 	if err == nil {
 		err = obs.finish()
@@ -281,31 +308,73 @@ func runFaultTol(scenario string, writes int, seed uint64) error {
 	return nil
 }
 
-// buildDevice assembles the chosen storage system on a fresh environment.
-func buildDevice(env *sim.Env, system string) (blockdev.Device, *trail.Driver, *stddisk.Device, error) {
+// qosPolicy assembles the run's overload policy from the flags; nil when no
+// QoS flag was given (the historical unbounded behaviour).
+func qosPolicy(on bool, deadline time.Duration, maxDepth int) *qos.Policy {
+	if !on && deadline == 0 && maxDepth == 0 {
+		return nil
+	}
+	pol := &qos.Policy{}
+	if on {
+		pol = qos.Default()
+	}
+	if deadline > 0 {
+		pol.DefaultDeadline = deadline
+	}
+	if maxDepth > 0 {
+		pol.MaxDepth = maxDepth
+	}
+	return pol
+}
+
+// buildDevice assembles the chosen storage system on a fresh environment,
+// optionally attaching the fault scenario to every drive and the overload
+// policy to the driver.
+func buildDevice(env *sim.Env, system, scenario string, faultSeed uint64, pol *qos.Policy) (blockdev.Device, *trail.Driver, *stddisk.Device, []*fault.Plan, error) {
+	var fcfg fault.Config
+	if scenario != "" {
+		var err error
+		if fcfg, err = fault.ParseScenario(scenario); err != nil {
+			return nil, nil, nil, nil, err
+		}
+	}
+	frng := sim.NewRand(faultSeed)
+	var plans []*fault.Plan
+	attach := func(d *disk.Disk) {
+		if scenario != "" {
+			plans = append(plans, fault.Attach(d, frng, fcfg))
+		}
+	}
 	switch system {
 	case "trail":
 		log := disk.New(env, disk.ST41601N())
 		if err := trail.Format(log); err != nil {
-			return nil, nil, nil, err
+			return nil, nil, nil, nil, err
 		}
 		data := disk.New(env, disk.WDCaviar())
-		drv, err := trail.NewDriver(env, log, []*disk.Disk{data}, trail.Config{})
+		attach(log)
+		attach(data)
+		cfg := trail.Config{QoS: pol}
+		drv, err := trail.NewDriver(env, log, []*disk.Disk{data}, cfg)
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, nil, nil, err
 		}
-		return drv.Dev(0), drv, nil, nil
+		return drv.Dev(0), drv, nil, plans, nil
 	case "std":
 		d := disk.New(env, disk.WDCaviar())
+		attach(d)
 		sd := stddisk.New(env, d, blockdev.DevID{Major: 3}, sched.LOOK)
-		return sd, nil, sd, nil
+		if pol != nil {
+			sd.SetQoS(pol)
+		}
+		return sd, nil, sd, plans, nil
 	default:
-		return nil, nil, nil, fmt.Errorf("unknown system %q", system)
+		return nil, nil, nil, nil, fmt.Errorf("unknown system %q", system)
 	}
 }
 
 // runReplayFile replays a trace file against the chosen system.
-func runReplayFile(system, path string, obs *observer) error {
+func runReplayFile(system, path string, pol *qos.Policy, obs *observer) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -317,7 +386,7 @@ func runReplayFile(system, path string, obs *observer) error {
 	}
 	env := sim.NewEnv()
 	defer env.Close()
-	dev, drv, std, err := buildDevice(env, system)
+	dev, drv, std, _, err := buildDevice(env, system, "", 0, pol)
 	if err != nil {
 		return err
 	}
@@ -331,10 +400,10 @@ func runReplayFile(system, path string, obs *observer) error {
 }
 
 // runPattern synthesizes a trace with the named pattern and replays it.
-func runPattern(system, pattern string, ops, size int, writeRatio float64, seed uint64, obs *observer) error {
+func runPattern(system, pattern string, ops, size int, writeRatio float64, seed uint64, pol *qos.Policy, obs *observer) error {
 	env := sim.NewEnv()
 	defer env.Close()
-	dev, drv, std, err := buildDevice(env, system)
+	dev, drv, std, _, err := buildDevice(env, system, "", 0, pol)
 	if err != nil {
 		return err
 	}
@@ -366,50 +435,12 @@ func printReplay(system, source string, res *workload.ReplayResult) {
 	fmt.Printf("elapsed %v, %d ops issued late\n", res.Elapsed, res.Lagged)
 }
 
-func run(system, mode string, size, procs, writes int, seed uint64, scenario string, faultSeed uint64, obs *observer) error {
+func run(system, mode string, size, procs, writes int, seed uint64, scenario string, faultSeed uint64, pol *qos.Policy, obs *observer) error {
 	env := sim.NewEnv()
 	defer env.Close()
-
-	var cfg fault.Config
-	if scenario != "" {
-		var err error
-		if cfg, err = fault.ParseScenario(scenario); err != nil {
-			return err
-		}
-	}
-	frng := sim.NewRand(faultSeed)
-	var plans []*fault.Plan
-	attach := func(d *disk.Disk) {
-		if scenario != "" {
-			plans = append(plans, fault.Attach(d, frng, cfg))
-		}
-	}
-
-	var dev blockdev.Device
-	var drv *trail.Driver
-	var std *stddisk.Device
-	switch system {
-	case "trail":
-		log := disk.New(env, disk.ST41601N())
-		if err := trail.Format(log); err != nil {
-			return err
-		}
-		data := disk.New(env, disk.WDCaviar())
-		attach(log)
-		attach(data)
-		var err error
-		drv, err = trail.NewDriver(env, log, []*disk.Disk{data}, trail.Config{})
-		if err != nil {
-			return err
-		}
-		dev = drv.Dev(0)
-	case "std":
-		d := disk.New(env, disk.WDCaviar())
-		attach(d)
-		std = stddisk.New(env, d, blockdev.DevID{Major: 3}, sched.LOOK)
-		dev = std
-	default:
-		return fmt.Errorf("unknown system %q", system)
+	dev, drv, std, plans, err := buildDevice(env, system, scenario, faultSeed, pol)
+	if err != nil {
+		return err
 	}
 	obs.attach(env, drv, std)
 
@@ -450,5 +481,103 @@ func run(system, mode string, size, procs, writes int, seed uint64, scenario str
 		}
 		fmt.Printf("faults (%s):\n%s\n", scenario, agg)
 	}
+	return nil
+}
+
+// ackedWrite is one acknowledged write retained for the -verify audit.
+type ackedWrite struct {
+	sectors int
+	data    []byte
+	at      sim.Time
+}
+
+// runOpenLoop issues writes at a fixed arrival rate regardless of
+// completions — the overload regime — tolerating per-request shed and
+// deadline outcomes. With verify, every acknowledged write is read back
+// after the run: an acknowledged write that cannot be read back intact is
+// data loss and fails the run.
+func runOpenLoop(system string, size, writes int, rate float64, seed uint64, scenario string, faultSeed uint64, pol *qos.Policy, verify bool, obs *observer) error {
+	env := sim.NewEnv()
+	defer env.Close()
+	dev, drv, std, plans, err := buildDevice(env, system, scenario, faultSeed, pol)
+	if err != nil {
+		return err
+	}
+	obs.attach(env, drv, std)
+
+	// survivors holds, per target, every acknowledged write: concurrent
+	// acked writes to one slot race in the device, so readback must match
+	// one of them (the newest acknowledgement is listed first).
+	var survivors map[int64][]ackedWrite
+	cfg := workload.OpenLoopConfig{
+		Interarrival: time.Duration(float64(time.Second) / rate),
+		Requests:     writes,
+		WriteSize:    size,
+		Seed:         seed,
+	}
+	if verify {
+		survivors = make(map[int64][]ackedWrite)
+		cfg.OnAck = func(lba int64, sectors int, data []byte, at sim.Time) {
+			survivors[lba] = append([]ackedWrite{{sectors: sectors, data: data, at: at}}, survivors[lba]...)
+		}
+	}
+	res, err := workload.RunOpenLoopWrites(env, dev, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s / open-loop / %dB x %d writes at %.0f/s\n", system, size, writes, rate)
+	fmt.Printf("acked %d  shed %d  expired %d  other-errors %d\n",
+		res.Acked, res.Shed, res.Expired, res.OtherErrors)
+	fmt.Printf("acked latency: %v\n", res.Latency)
+	fmt.Printf("elapsed: %v\n", res.Elapsed)
+	if drv != nil {
+		fmt.Printf("counters: %s\n", drv.Stats().Counters())
+	}
+	if len(plans) > 0 {
+		agg := metrics.NewCounters()
+		for _, pl := range plans {
+			agg.Merge(pl.Stats().Counters())
+		}
+		if drv != nil {
+			agg.Merge(drv.Stats().FaultCounters())
+		}
+		fmt.Printf("faults (%s):\n%s\n", scenario, agg)
+	}
+	if !verify {
+		return nil
+	}
+	lbas := make([]int64, 0, len(survivors))
+	for lba := range survivors {
+		lbas = append(lbas, lba)
+	}
+	sort.Slice(lbas, func(i, j int) bool { return lbas[i] < lbas[j] })
+	var lost int
+	env.Go("verify", func(p *sim.Proc) {
+		for _, lba := range lbas {
+			cands := survivors[lba]
+			got, rerr := dev.Read(p, lba, cands[0].sectors)
+			if rerr != nil {
+				fmt.Printf("verify: lba %d: read failed: %v\n", lba, rerr)
+				lost++
+				continue
+			}
+			ok := false
+			for _, c := range cands {
+				if bytes.Equal(got, c.data) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				fmt.Printf("verify: lba %d: acknowledged data lost\n", lba)
+				lost++
+			}
+		}
+	})
+	env.Run()
+	if lost > 0 {
+		return fmt.Errorf("verify: %d of %d acknowledged writes lost", lost, len(lbas))
+	}
+	fmt.Printf("verify: all %d acknowledged targets intact\n", len(lbas))
 	return nil
 }

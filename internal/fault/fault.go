@@ -295,11 +295,18 @@ func ParseScenario(s string) (Config, error) {
 	if s == "" {
 		return cfg, nil
 	}
+	seen := make(map[string]bool)
 	for _, term := range strings.Split(s, ",") {
 		k, v, ok := strings.Cut(strings.TrimSpace(term), "=")
 		if !ok {
 			return cfg, fmt.Errorf("fault: term %q is not key=value", term)
 		}
+		if seen[k] {
+			// A repeated key is almost certainly a typo'd scenario; silently
+			// letting the last value win would hide it.
+			return cfg, fmt.Errorf("fault: term %q: duplicate key %q", term, k)
+		}
+		seen[k] = true
 		var err error
 		switch k {
 		case "latent":

@@ -3,6 +3,7 @@ package fault
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -221,5 +222,41 @@ func TestParseScenario(t *testing.T) {
 		if _, err := ParseScenario(bad); err == nil {
 			t.Errorf("ParseScenario(%q) accepted", bad)
 		}
+	}
+}
+
+// TestParseScenarioMalformed table-drives the rejection paths: every bad
+// scenario must be refused with an error naming the offending term.
+func TestParseScenarioMalformed(t *testing.T) {
+	cases := []struct {
+		scenario string
+		token    string // substring the error must carry
+	}{
+		{"latent", `"latent"`},
+		{"=3", `""`},
+		{"latent=", `"latent="`},
+		{"latent=three", `"latent=three"`},
+		{"latent=3,latent=5", `duplicate key "latent"`},
+		{"timeout=1,latent=2,timeout=9", `duplicate key "timeout"`},
+		{"latent=3, latent=5", `duplicate key "latent"`},
+		{"onset=5s,onset=10s", `duplicate key "onset"`},
+		{"unknownkey=1", `"unknownkey"`},
+		{"maxlba=1e9", `"maxlba=1e9"`},
+		{"tdelay=10", `"tdelay=10"`},
+		{"latent=3,,timeout=1", `""`},
+	}
+	for _, c := range cases {
+		_, err := ParseScenario(c.scenario)
+		if err == nil {
+			t.Errorf("ParseScenario(%q) accepted", c.scenario)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.token) {
+			t.Errorf("ParseScenario(%q) error %q does not name %s", c.scenario, err, c.token)
+		}
+	}
+	// Distinct keys remain legal — duplicate detection must not overreach.
+	if _, err := ParseScenario("latent=3,wlatent=3"); err != nil {
+		t.Errorf("distinct keys rejected: %v", err)
 	}
 }

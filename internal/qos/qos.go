@@ -1,0 +1,278 @@
+// Package qos implements overload protection for the storage stack:
+// bounded admission with explicit shedding, per-request virtual-time
+// deadlines, and per-class retry budgets.
+//
+// The stack without QoS is an open funnel — sched.Queue and the Trail log
+// queue grow without bound, so offered load beyond what the disks absorb
+// turns into unbounded latency. A qos.Policy closes the funnel: requests
+// beyond the admission bound complete immediately with
+// blockdev.ErrOverload, requests whose deadline passes complete with
+// blockdev.ErrDeadlineExceeded instead of occupying the disk, and retries
+// are charged against a per-class budget so a sick device cannot pin a
+// worker forever.
+//
+// Everything here runs on the simulator's virtual clock. Deadline checks
+// are lazy — evaluated at admission, at wakeup, and before each retry —
+// never on wall-clock timers, so same-seed runs stay byte-identical.
+//
+// A nil *Policy disables QoS entirely: every accessor is nil-safe and
+// returns the permissive default, so drivers hold a *Policy and never
+// branch on nil themselves.
+package qos
+
+import (
+	"time"
+
+	"tracklog/internal/blockdev"
+	"tracklog/internal/sim"
+)
+
+// Policy is the knob set for one driver stack. The zero value of every
+// field means "no limit"; a nil *Policy means QoS is off.
+type Policy struct {
+	// MaxQueue bounds the driver's admission queue (Trail's log queue, a
+	// RAID controller's waiter list). Arrivals beyond the bound are shed
+	// with blockdev.ErrOverload. 0 = unbounded.
+	MaxQueue int
+
+	// MaxDepth bounds each sched.Queue's pending-request depth. When full,
+	// the lowest-class queued request is shed to admit a higher-class
+	// newcomer; otherwise the newcomer is shed. 0 = unbounded.
+	MaxDepth int
+
+	// DefaultDeadline, when nonzero, is applied at client submit to
+	// requests that carry no explicit deadline: the absolute deadline is
+	// submit time + DefaultDeadline on the virtual clock.
+	DefaultDeadline time.Duration
+
+	// Retry budgets per class: the number of attempts (initial + retries)
+	// a transient fault may consume before the request fails. 0 selects
+	// the driver's historical constant for that path, so enabling QoS
+	// without setting budgets changes nothing about retry behaviour.
+	BackgroundRetries  int
+	NormalRetries      int
+	InteractiveRetries int
+
+	// HighWater/LowWater throttle Trail foreground writes against
+	// write-back progress: when staged-but-unwritten bytes reach
+	// HighWater, new foreground writes stall until write-back drains
+	// staging below LowWater. 0 = no throttle.
+	HighWater int
+	LowWater  int
+}
+
+// Default returns a policy with bounds sized for the simulated drives:
+// admission queue and sched depth bounded, a generous default deadline,
+// modest per-class retry budgets, and the staging throttle engaged at one
+// megabyte.
+func Default() *Policy {
+	return &Policy{
+		MaxQueue:           64,
+		MaxDepth:           32,
+		DefaultDeadline:    2 * time.Second,
+		BackgroundRetries:  2,
+		NormalRetries:      3,
+		InteractiveRetries: 5,
+		HighWater:          1 << 20,
+		LowWater:           1 << 19,
+	}
+}
+
+// Enabled reports whether p imposes any policy at all.
+func (p *Policy) Enabled() bool { return p != nil }
+
+// QueueBound returns the admission-queue bound, 0 if unbounded.
+func (p *Policy) QueueBound() int {
+	if p == nil {
+		return 0
+	}
+	return p.MaxQueue
+}
+
+// DepthBound returns the sched depth bound, 0 if unbounded.
+func (p *Policy) DepthBound() int {
+	if p == nil {
+		return 0
+	}
+	return p.MaxDepth
+}
+
+// RetryBudget returns the attempt budget for class c, or fallback (the
+// driver's historical constant) when unset or QoS is off.
+func (p *Policy) RetryBudget(c blockdev.Class, fallback int) int {
+	if p == nil {
+		return fallback
+	}
+	var b int
+	switch c {
+	case blockdev.ClassBackground:
+		b = p.BackgroundRetries
+	case blockdev.ClassInteractive:
+		b = p.InteractiveRetries
+	default:
+		b = p.NormalRetries
+	}
+	if b <= 0 {
+		return fallback
+	}
+	return b
+}
+
+// Deadline resolves a request's absolute deadline at submit time now:
+// an explicit deadline wins; otherwise DefaultDeadline applies; zero
+// means none.
+func (p *Policy) Deadline(now sim.Time, explicit sim.Time) sim.Time {
+	if explicit != 0 {
+		return explicit
+	}
+	if p == nil || p.DefaultDeadline <= 0 {
+		return 0
+	}
+	return now.Add(p.DefaultDeadline)
+}
+
+// ClassBound returns the admission-queue occupancy at which class c is
+// shed, implementing "lowest priority first": Background is refused once
+// the queue is a quarter full, Normal at three quarters, Interactive only
+// when completely full. Returns 0 (no bound) when QoS is off or MaxQueue
+// is unbounded.
+func (p *Policy) ClassBound(c blockdev.Class) int {
+	max := p.QueueBound()
+	if max == 0 {
+		return 0
+	}
+	switch c {
+	case blockdev.ClassBackground:
+		b := max / 4
+		if b < 1 {
+			b = 1
+		}
+		return b
+	case blockdev.ClassInteractive:
+		return max
+	default:
+		b := max * 3 / 4
+		if b < 1 {
+			b = 1
+		}
+		return b
+	}
+}
+
+// Stats counts a controller's admission decisions.
+type Stats struct {
+	Admitted   int64
+	Shed       int64 // refused with ErrOverload
+	Expired    int64 // refused or abandoned with ErrDeadlineExceeded
+	MaxWaiters int   // high-water mark of the waiter list
+}
+
+// waiter is one blocked admission request, granted in priority order.
+type waiter struct {
+	class blockdev.Class
+	opts  blockdev.Options
+	seq   int64
+	grant *sim.Event
+	err   error
+}
+
+// Controller is a bounded admission gate: at most MaxInFlight requests
+// proceed concurrently, at most Policy.MaxQueue wait, and waiters are
+// granted in class-priority order (FIFO within a class). RAID uses one
+// per array so that under overload the scrubber (Background) starves
+// before client traffic does.
+type Controller struct {
+	env *sim.Env
+	pol *Policy
+
+	// MaxInFlight bounds concurrent admitted requests. Must be > 0.
+	maxInFlight int
+
+	inFlight int
+	waiters  []*waiter
+	seq      int64
+	stats    Stats
+}
+
+// NewController creates an admission gate over pol admitting at most
+// maxInFlight concurrent requests. pol may be nil (unbounded queue,
+// concurrency still bounded).
+func NewController(env *sim.Env, pol *Policy, maxInFlight int) *Controller {
+	if maxInFlight <= 0 {
+		maxInFlight = 1
+	}
+	return &Controller{env: env, pol: pol, maxInFlight: maxInFlight}
+}
+
+// Stats returns a copy of the admission counters.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// Waiting returns the current waiter-list length.
+func (c *Controller) Waiting() int { return len(c.waiters) }
+
+// Admit blocks p until the request may proceed, or fails it:
+// blockdev.ErrOverload when the waiter list is at the class's bound,
+// blockdev.ErrDeadlineExceeded when the deadline passes before a slot
+// frees. A nil return must be paired with exactly one Release.
+func (c *Controller) Admit(p *sim.Proc, opts blockdev.Options) error {
+	now := p.Now()
+	if opts.Expired(now) {
+		c.stats.Expired++
+		return blockdev.ErrDeadlineExceeded
+	}
+	if bound := c.pol.ClassBound(opts.Class); bound > 0 && len(c.waiters) >= bound {
+		c.stats.Shed++
+		return blockdev.ErrOverload
+	}
+	if c.inFlight < c.maxInFlight && len(c.waiters) == 0 {
+		c.inFlight++
+		c.stats.Admitted++
+		return nil
+	}
+	w := &waiter{class: opts.Class, opts: opts, seq: c.seq, grant: sim.NewEvent(c.env)}
+	c.seq++
+	c.insert(w)
+	if n := len(c.waiters); n > c.stats.MaxWaiters {
+		c.stats.MaxWaiters = n
+	}
+	w.grant.Wait(p)
+	return w.err
+}
+
+// insert places w in grant order: higher shed-order (higher priority)
+// first, FIFO within equal priority.
+func (c *Controller) insert(w *waiter) {
+	i := len(c.waiters)
+	for i > 0 {
+		prev := c.waiters[i-1]
+		if prev.class.ShedOrder() >= w.class.ShedOrder() {
+			break
+		}
+		i--
+	}
+	c.waiters = append(c.waiters, nil)
+	copy(c.waiters[i+1:], c.waiters[i:])
+	c.waiters[i] = w
+}
+
+// Release returns an admitted slot and grants it to the highest-priority
+// waiter whose deadline still holds; waiters found expired complete with
+// ErrDeadlineExceeded without consuming the slot.
+func (c *Controller) Release() {
+	c.inFlight--
+	now := c.env.Now()
+	for len(c.waiters) > 0 {
+		w := c.waiters[0]
+		c.waiters = c.waiters[1:]
+		if w.opts.Expired(now) {
+			c.stats.Expired++
+			w.err = blockdev.ErrDeadlineExceeded
+			w.grant.Trigger()
+			continue
+		}
+		c.inFlight++
+		c.stats.Admitted++
+		w.grant.Trigger()
+		return
+	}
+}

@@ -1,0 +1,191 @@
+package qos
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"tracklog/internal/blockdev"
+	"tracklog/internal/sim"
+)
+
+func TestNilPolicyIsPermissive(t *testing.T) {
+	var p *Policy
+	if p.Enabled() {
+		t.Error("nil policy reports enabled")
+	}
+	if p.QueueBound() != 0 || p.DepthBound() != 0 {
+		t.Error("nil policy has bounds")
+	}
+	if got := p.RetryBudget(blockdev.ClassNormal, 7); got != 7 {
+		t.Errorf("RetryBudget fallback = %d, want 7", got)
+	}
+	if got := p.Deadline(1000, 0); got != 0 {
+		t.Errorf("nil policy deadline = %d, want 0", got)
+	}
+	if got := p.Deadline(1000, 555); got != 555 {
+		t.Errorf("explicit deadline = %d, want 555", got)
+	}
+	if p.ClassBound(blockdev.ClassBackground) != 0 {
+		t.Error("nil policy has a class bound")
+	}
+}
+
+func TestPolicyDeadlineAndBudgets(t *testing.T) {
+	p := &Policy{DefaultDeadline: time.Millisecond, NormalRetries: 2, InteractiveRetries: 9}
+	if got := p.Deadline(sim.Time(1000), 0); got != sim.Time(1000).Add(time.Millisecond) {
+		t.Errorf("default deadline = %d", got)
+	}
+	if got := p.Deadline(sim.Time(1000), 42); got != 42 {
+		t.Errorf("explicit deadline overridden: %d", got)
+	}
+	if got := p.RetryBudget(blockdev.ClassNormal, 7); got != 2 {
+		t.Errorf("normal budget = %d, want 2", got)
+	}
+	if got := p.RetryBudget(blockdev.ClassInteractive, 7); got != 9 {
+		t.Errorf("interactive budget = %d, want 9", got)
+	}
+	// Unset class budget falls back to the historical constant.
+	if got := p.RetryBudget(blockdev.ClassBackground, 7); got != 7 {
+		t.Errorf("background budget = %d, want fallback 7", got)
+	}
+}
+
+func TestClassBoundsOrderShedding(t *testing.T) {
+	p := &Policy{MaxQueue: 64}
+	bg := p.ClassBound(blockdev.ClassBackground)
+	no := p.ClassBound(blockdev.ClassNormal)
+	in := p.ClassBound(blockdev.ClassInteractive)
+	if !(bg < no && no < in) {
+		t.Errorf("class bounds not ordered: bg=%d normal=%d interactive=%d", bg, no, in)
+	}
+	if in != 64 {
+		t.Errorf("interactive bound = %d, want MaxQueue", in)
+	}
+}
+
+func TestControllerAdmitsUpToLimit(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Close()
+	c := NewController(env, &Policy{MaxQueue: 8}, 2)
+	var order []string
+	env.Go("ops", func(p *sim.Proc) {
+		for i := 0; i < 2; i++ {
+			if err := c.Admit(p, blockdev.Options{}); err != nil {
+				t.Errorf("admit %d: %v", i, err)
+			}
+		}
+		order = append(order, "two-in-flight")
+	})
+	env.Run()
+	if len(order) != 1 {
+		t.Fatal("admissions blocked below the concurrency limit")
+	}
+	st := c.Stats()
+	if st.Admitted != 2 || st.Shed != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestControllerGrantsByClassPriority(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Close()
+	c := NewController(env, &Policy{MaxQueue: 8}, 1)
+	var got []string
+	env.Go("holder", func(p *sim.Proc) {
+		if err := c.Admit(p, blockdev.Options{}); err != nil {
+			t.Errorf("holder admit: %v", err)
+		}
+		p.Sleep(time.Millisecond)
+		c.Release()
+	})
+	wait := func(name string, class blockdev.Class) {
+		env.Go(name, func(p *sim.Proc) {
+			if err := c.Admit(p, blockdev.Options{Class: class}); err != nil {
+				t.Errorf("%s admit: %v", name, err)
+				return
+			}
+			got = append(got, name)
+			c.Release()
+		})
+	}
+	// Submitted background first, interactive last: priority must win.
+	wait("background", blockdev.ClassBackground)
+	wait("normal", blockdev.ClassNormal)
+	wait("interactive", blockdev.ClassInteractive)
+	env.Run()
+	want := []string{"interactive", "normal", "background"}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Errorf("grant order = %v, want %v", got, want)
+	}
+}
+
+func TestControllerShedsLowClassFirst(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Close()
+	// MaxQueue 4: background bound 1, normal bound 3, interactive bound 4.
+	c := NewController(env, &Policy{MaxQueue: 4}, 1)
+	env.Go("ops", func(p *sim.Proc) {
+		if err := c.Admit(p, blockdev.Options{}); err != nil { // occupies the slot
+			t.Fatalf("first admit: %v", err)
+		}
+		// Fill the waiter list to the background bound.
+		for i := 0; i < 1; i++ {
+			env.Go("w", func(p *sim.Proc) {
+				if err := c.Admit(p, blockdev.Options{}); err == nil {
+					c.Release()
+				}
+			})
+		}
+		p.Sleep(time.Microsecond) // let the waiter park
+		if err := c.Admit(p, blockdev.Options{Class: blockdev.ClassBackground}); !errors.Is(err, blockdev.ErrOverload) {
+			t.Errorf("background admit with 1 waiter = %v, want ErrOverload", err)
+		}
+		c.Release()
+	})
+	env.Run()
+	if c.Stats().Shed != 1 {
+		t.Errorf("shed = %d, want 1", c.Stats().Shed)
+	}
+}
+
+func TestControllerExpiresWaiters(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Close()
+	c := NewController(env, &Policy{MaxQueue: 8}, 1)
+	var waiterErr error
+	env.Go("holder", func(p *sim.Proc) {
+		if err := c.Admit(p, blockdev.Options{}); err != nil {
+			t.Errorf("holder admit: %v", err)
+		}
+		p.Sleep(10 * time.Millisecond) // hold past the waiter's deadline
+		c.Release()
+	})
+	env.Go("waiter", func(p *sim.Proc) {
+		waiterErr = c.Admit(p, blockdev.Options{Deadline: p.Now().Add(time.Millisecond)})
+		if waiterErr == nil {
+			c.Release()
+		}
+	})
+	env.Run()
+	if !errors.Is(waiterErr, blockdev.ErrDeadlineExceeded) {
+		t.Errorf("waiter error = %v, want ErrDeadlineExceeded", waiterErr)
+	}
+	if c.Stats().Expired != 1 {
+		t.Errorf("expired = %d, want 1", c.Stats().Expired)
+	}
+}
+
+func TestControllerRejectsExpiredAtAdmission(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Close()
+	c := NewController(env, nil, 1)
+	env.Go("op", func(p *sim.Proc) {
+		p.Sleep(time.Millisecond)
+		err := c.Admit(p, blockdev.Options{Deadline: p.Now().Add(-time.Microsecond)})
+		if !errors.Is(err, blockdev.ErrDeadlineExceeded) {
+			t.Errorf("admit past deadline = %v, want ErrDeadlineExceeded", err)
+		}
+	})
+	env.Run()
+}

@@ -16,6 +16,7 @@ import (
 	"tracklog/internal/blockdev"
 	"tracklog/internal/geom"
 	"tracklog/internal/metrics"
+	"tracklog/internal/qos"
 	"tracklog/internal/sim"
 	"tracklog/internal/span"
 	"tracklog/internal/trace"
@@ -54,6 +55,12 @@ type Array struct {
 	locked map[int64]bool
 	lockC  *sim.Cond
 
+	// QoS admission gate (nil = unbounded). Client traffic admits through
+	// ctl before touching member devices; the scrubber admits at Background
+	// class, so under overload it is shed first.
+	pol *qos.Policy
+	ctl *qos.Controller
+
 	tr     *trace.Tracer
 	trName string
 
@@ -77,6 +84,13 @@ type Stats struct {
 	ScrubPasses       int64
 	ScrubRepaired     int64
 	ScrubUnrepairable int64
+	// QoS (all zero without SetQoS): Shed counts operations refused at
+	// admission with ErrOverload; Expired counts operations abandoned past
+	// their deadline; ScrubYields counts scrub chunks skipped because the
+	// admission gate preferred foreground traffic.
+	Shed        int64
+	Expired     int64
+	ScrubYields int64
 }
 
 // Counters exports the array's fault/repair telemetry as a metrics counter
@@ -91,6 +105,9 @@ func (s Stats) Counters() *metrics.Counters {
 	c.Set("raid.scrub_passes", s.ScrubPasses)
 	c.Set("raid.scrub_repaired", s.ScrubRepaired)
 	c.Set("raid.scrub_unrepairable", s.ScrubUnrepairable)
+	c.Set("raid.shed", s.Shed)
+	c.Set("raid.expired", s.Expired)
+	c.Set("raid.scrub_yields", s.ScrubYields)
 	return c
 }
 
@@ -140,6 +157,67 @@ func (a *Array) SetTracer(tr *trace.Tracer, name string) {
 func (a *Array) SetRecorder(rec *span.Recorder, name string) {
 	a.rec = rec
 	a.recName = name
+}
+
+// SetQoS applies an overload policy to the array: client operations admit
+// through a bounded gate (at most one in flight per member device, waiters
+// bounded by the policy, lowest class shed first), deadlines propagate into
+// member devices, and the scrubber yields to foreground traffic. nil
+// restores unbounded admission.
+func (a *Array) SetQoS(env *sim.Env, pol *qos.Policy) {
+	a.pol = pol
+	if pol.Enabled() {
+		a.ctl = qos.NewController(env, pol, len(a.devs))
+	} else {
+		a.ctl = nil
+	}
+}
+
+// admit passes one array operation through the QoS gate. It returns a
+// non-nil release func on success; on shed or expiry it records the outcome
+// (stats, trace, span) and returns the classified error.
+func (a *Array) admit(p *sim.Proc, kind span.Kind, lba int64, count int, opts blockdev.Options) (func(), error) {
+	if a.ctl == nil {
+		return func() {}, nil
+	}
+	err := a.ctl.Admit(p, opts)
+	if err == nil {
+		return a.ctl.Release, nil
+	}
+	now := int64(p.Now())
+	rq := a.rec.Start(kind, "raid", a.recName, lba, count, now)
+	switch {
+	case blockdev.IsShed(err):
+		a.stats.Shed++
+		if a.tr != nil {
+			a.tr.Emit(trace.Event{At: now, Kind: trace.KShed, Track: a.trName,
+				LBA: lba, Count: count, A: int64(a.ctl.Waiting())})
+		}
+		rq.Point(span.PShed, now, int64(a.ctl.Waiting()), 0)
+	default:
+		a.stats.Expired++
+		if a.tr != nil {
+			a.tr.Emit(trace.Event{At: now, Kind: trace.KDeadline, Track: a.trName,
+				LBA: lba, Count: count})
+		}
+		rq.Point(span.PDeadline, now, 0, 0)
+	}
+	rq.Finish(now, true)
+	return nil, fmt.Errorf("raid %s [%d,+%d): %w", kind, lba, count, err)
+}
+
+// expire fails an in-progress operation whose deadline passed between
+// chunks: remaining chunks are never issued.
+func (a *Array) expire(p *sim.Proc, rq *span.Req, lba int64, count int, opts blockdev.Options) error {
+	a.stats.Expired++
+	if a.tr != nil {
+		a.tr.Emit(trace.Event{At: int64(p.Now()), Kind: trace.KDeadline, Track: a.trName,
+			LBA: lba, Count: count})
+	}
+	rq.Point(span.PDeadline, int64(p.Now()), int64(p.Now().Sub(opts.Deadline)), 0)
+	rq.Finish(int64(p.Now()), true)
+	return fmt.Errorf("raid [%d,+%d): deadline passed mid-operation: %w",
+		lba, count, blockdev.ErrDeadlineExceeded)
 }
 
 // Fail marks one device as dead; reads reconstruct from the survivors. The
@@ -238,14 +316,14 @@ func (a *Array) unlockStripe(stripe int64) {
 // range covers a known-unwritable sector (stale on the platter), or the read
 // itself hits a media error. A device answering with
 // blockdev.ErrDeviceFailed is dropped from the array on the spot.
-func (a *Array) devRead(p *sim.Proc, dev int, devChunk int64, off, count int) ([]byte, error) {
+func (a *Array) devRead(p *sim.Proc, dev int, devChunk int64, off, count int, opts blockdev.Options) ([]byte, error) {
 	lba := devChunk*int64(a.chunk) + int64(off)
 	if dev == a.failed || a.anyBad(dev, lba, count) {
 		a.stats.DegradedReads++
-		return a.reconstruct(p, dev, lba, count)
+		return a.reconstruct(p, dev, lba, count, opts)
 	}
 	a.stats.DeviceReads++
-	buf, err := a.devs[dev].Read(p, lba, count)
+	buf, err := blockdev.ReadOpts(p, a.devs[dev], lba, count, opts)
 	switch {
 	case err == nil:
 		return buf, nil
@@ -263,7 +341,7 @@ func (a *Array) devRead(p *sim.Proc, dev int, devChunk int64, off, count int) ([
 	default:
 		return nil, err
 	}
-	return a.reconstruct(p, dev, lba, count)
+	return a.reconstruct(p, dev, lba, count, opts)
 }
 
 // reconstruct rebuilds count sectors of device dev starting at device LBA
@@ -271,7 +349,7 @@ func (a *Array) devRead(p *sim.Proc, dev int, devChunk int64, off, count int) ([
 // occupy the same device rows, so the XOR across all devices of any row is
 // zero). A second unreadable copy in the range is a genuine double fault and
 // surfaces as an error.
-func (a *Array) reconstruct(p *sim.Proc, dev int, lba int64, count int) ([]byte, error) {
+func (a *Array) reconstruct(p *sim.Proc, dev int, lba int64, count int, opts blockdev.Options) ([]byte, error) {
 	a.stats.Reconstructions++
 	if a.tr != nil {
 		a.tr.Emit(trace.Event{At: int64(p.Now()), Kind: trace.KReconstruct,
@@ -286,7 +364,7 @@ func (a *Array) reconstruct(p *sim.Proc, dev int, lba int64, count int) ([]byte,
 			return nil, fmt.Errorf("%w: reconstructing device %d lba %d needs device %d", ErrDegradedTwice, dev, lba, i)
 		}
 		a.stats.DeviceReads++
-		buf, err := d.Read(p, lba, count)
+		buf, err := blockdev.ReadOpts(p, d, lba, count, opts)
 		if err != nil {
 			if errors.Is(err, blockdev.ErrDeviceFailed) {
 				a.Fail(i) //nolint:errcheck // double fault surfaces below either way
@@ -303,14 +381,14 @@ func (a *Array) reconstruct(p *sim.Proc, dev int, lba int64, count int) ([]byte,
 // media error triggers a per-sector probe: writable sectors are persisted,
 // unwritable ones are marked bad so reads reconstruct them from parity (and
 // the scrubber keeps retrying them).
-func (a *Array) devWrite(p *sim.Proc, dev int, devChunk int64, off int, data []byte) error {
+func (a *Array) devWrite(p *sim.Proc, dev int, devChunk int64, off int, data []byte, opts blockdev.Options) error {
 	if dev == a.failed {
 		return nil
 	}
 	a.stats.DeviceWrites++
 	lba := devChunk*int64(a.chunk) + int64(off)
 	n := len(data) / geom.SectorSize
-	err := a.devs[dev].Write(p, lba, n, data)
+	err := blockdev.WriteOpts(p, a.devs[dev], lba, n, data, opts)
 	switch {
 	case err == nil:
 		a.clearBad(dev, lba, n)
@@ -331,7 +409,7 @@ func (a *Array) devWrite(p *sim.Proc, dev int, devChunk int64, off int, data []b
 	a.stats.MediaErrorWrites++
 	for i := 0; i < n; i++ {
 		slba := lba + int64(i)
-		serr := a.devs[dev].Write(p, slba, 1, data[i*geom.SectorSize:(i+1)*geom.SectorSize])
+		serr := blockdev.WriteOpts(p, a.devs[dev], slba, 1, data[i*geom.SectorSize:(i+1)*geom.SectorSize], opts)
 		switch {
 		case serr == nil:
 			a.clearBad(dev, slba, 1)
@@ -357,17 +435,17 @@ func xorInto(dst, src []byte) {
 
 // subRead runs devRead as a timed child of rq: the interval covers the whole
 // member operation, including any reconstruction reads it triggers.
-func (a *Array) subRead(p *sim.Proc, rq *span.Req, dev int, devChunk int64, off, count int) ([]byte, error) {
+func (a *Array) subRead(p *sim.Proc, rq *span.Req, dev int, devChunk int64, off, count int, opts blockdev.Options) ([]byte, error) {
 	start := int64(p.Now())
-	buf, err := a.devRead(p, dev, devChunk, off, count)
+	buf, err := a.devRead(p, dev, devChunk, off, count, opts)
 	rq.ChildAB(span.PSubRead, start, int64(p.Now()), int64(dev), int64(count))
 	return buf, err
 }
 
 // subWrite runs devWrite as a timed child of rq.
-func (a *Array) subWrite(p *sim.Proc, rq *span.Req, dev int, devChunk int64, off int, data []byte) error {
+func (a *Array) subWrite(p *sim.Proc, rq *span.Req, dev int, devChunk int64, off int, data []byte, opts blockdev.Options) error {
 	start := int64(p.Now())
-	err := a.devWrite(p, dev, devChunk, off, data)
+	err := a.devWrite(p, dev, devChunk, off, data, opts)
 	rq.ChildAB(span.PSubWrite, start, int64(p.Now()), int64(dev), int64(len(data)/geom.SectorSize))
 	return err
 }
@@ -381,13 +459,29 @@ func (a *Array) lockChild(p *sim.Proc, rq *span.Req, stripe int64) {
 
 // Read returns count logical sectors at lba.
 func (a *Array) Read(p *sim.Proc, lba int64, count int) ([]byte, error) {
+	return a.ReadOpts(p, lba, count, blockdev.Options{Class: blockdev.ClassInteractive})
+}
+
+// ReadOpts reads with per-request QoS options: the operation admits through
+// the array's gate (when SetQoS is active), the deadline rides into member
+// devices, and a deadline passing between chunks abandons the remainder.
+func (a *Array) ReadOpts(p *sim.Proc, lba int64, count int, opts blockdev.Options) ([]byte, error) {
 	if err := blockdev.CheckRange(a.Sectors(), lba, count); err != nil {
 		return nil, err
 	}
+	opts.Deadline = a.pol.Deadline(p.Now(), opts.Deadline)
 	a.stats.Reads++
+	release, err := a.admit(p, span.KRead, lba, count, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	rq := a.rec.Start(span.KRead, "raid", a.recName, lba, count, int64(p.Now()))
 	out := make([]byte, 0, count*geom.SectorSize)
 	for count > 0 {
+		if opts.Expired(p.Now()) {
+			return nil, a.expire(p, rq, lba, count, opts)
+		}
 		logical := lba / int64(a.chunk)
 		off := int(lba % int64(a.chunk))
 		n := a.chunk - off
@@ -396,7 +490,7 @@ func (a *Array) Read(p *sim.Proc, lba int64, count int) ([]byte, error) {
 		}
 		dev, devChunk, stripe := a.chunkLoc(logical)
 		a.lockChild(p, rq, stripe)
-		buf, err := a.subRead(p, rq, dev, devChunk, off, n)
+		buf, err := a.subRead(p, rq, dev, devChunk, off, n, opts)
 		a.unlockStripe(stripe)
 		if err != nil {
 			rq.Finish(int64(p.Now()), true)
@@ -415,17 +509,33 @@ func (a *Array) Read(p *sim.Proc, lba int64, count int) ([]byte, error) {
 // ("small") writes pay the classic read-modify-write: read old data and old
 // parity, then write new data and new parity.
 func (a *Array) Write(p *sim.Proc, lba int64, count int, data []byte) error {
+	return a.WriteOpts(p, lba, count, data, blockdev.Options{})
+}
+
+// WriteOpts writes with per-request QoS options (see ReadOpts). A deadline
+// passing between stripes abandons the remainder — already-written stripes
+// stay parity-consistent because the stripe lock was held for each.
+func (a *Array) WriteOpts(p *sim.Proc, lba int64, count int, data []byte, opts blockdev.Options) error {
 	if err := blockdev.CheckRange(a.Sectors(), lba, count); err != nil {
 		return err
 	}
 	if len(data) < count*geom.SectorSize {
 		return fmt.Errorf("%w: %d bytes for %d sectors", ErrBadArray, len(data), count)
 	}
+	opts.Deadline = a.pol.Deadline(p.Now(), opts.Deadline)
 	a.stats.Writes++
+	release, err := a.admit(p, span.KWrite, lba, count, opts)
+	if err != nil {
+		return err
+	}
+	defer release()
 	rq := a.rec.Start(span.KWrite, "raid", a.recName, lba, count, int64(p.Now()))
 	n := int64(len(a.devs))
 	stripeData := int64(a.chunk) * (n - 1) // logical sectors per stripe
 	for count > 0 {
+		if opts.Expired(p.Now()) {
+			return a.expire(p, rq, lba, count, opts)
+		}
 		stripe := lba / stripeData
 		inStripe := lba % stripeData
 		this := int(stripeData - inStripe)
@@ -435,10 +545,10 @@ func (a *Array) Write(p *sim.Proc, lba int64, count int, data []byte) error {
 		var err error
 		a.lockChild(p, rq, stripe)
 		if inStripe == 0 && int64(this) == stripeData {
-			err = a.fullStripeWrite(p, rq, stripe, data)
+			err = a.fullStripeWrite(p, rq, stripe, data, opts)
 		} else {
 			// Small write(s): read-modify-write per touched chunk.
-			err = a.smallWrite(p, rq, lba, this, data[:this*geom.SectorSize])
+			err = a.smallWrite(p, rq, lba, this, data[:this*geom.SectorSize], opts)
 		}
 		a.unlockStripe(stripe)
 		if err != nil {
@@ -455,7 +565,7 @@ func (a *Array) Write(p *sim.Proc, lba int64, count int, data []byte) error {
 
 // fullStripeWrite writes one complete stripe, computing parity from the new
 // data alone (no reads). Caller holds the stripe lock.
-func (a *Array) fullStripeWrite(p *sim.Proc, rq *span.Req, stripe int64, data []byte) error {
+func (a *Array) fullStripeWrite(p *sim.Proc, rq *span.Req, stripe int64, data []byte, opts blockdev.Options) error {
 	n := int64(len(a.devs))
 	chunkBytes := int64(a.chunk) * geom.SectorSize
 	parity := make([]byte, chunkBytes)
@@ -464,11 +574,11 @@ func (a *Array) fullStripeWrite(p *sim.Proc, rq *span.Req, stripe int64, data []
 		part := data[i*chunkBytes : (i+1)*chunkBytes]
 		xorInto(parity, part)
 		dev, devChunk, _ := a.chunkLoc(stripe*(n-1) + i)
-		if err := a.subWrite(p, rq, dev, devChunk, 0, part); err != nil {
+		if err := a.subWrite(p, rq, dev, devChunk, 0, part, opts); err != nil {
 			return err
 		}
 	}
-	if err := a.subWrite(p, rq, pDev, stripe, 0, parity); err != nil {
+	if err := a.subWrite(p, rq, pDev, stripe, 0, parity, opts); err != nil {
 		return err
 	}
 	a.stats.FullStripes++
@@ -477,7 +587,7 @@ func (a *Array) fullStripeWrite(p *sim.Proc, rq *span.Req, stripe int64, data []
 
 // smallWrite updates up to a stripe's worth of sectors with read-modify-
 // write parity maintenance. Caller holds the stripe lock.
-func (a *Array) smallWrite(p *sim.Proc, rq *span.Req, lba int64, count int, data []byte) error {
+func (a *Array) smallWrite(p *sim.Proc, rq *span.Req, lba int64, count int, data []byte, opts blockdev.Options) error {
 	for count > 0 {
 		logical := lba / int64(a.chunk)
 		off := int(lba % int64(a.chunk))
@@ -490,11 +600,11 @@ func (a *Array) smallWrite(p *sim.Proc, rq *span.Req, lba int64, count int, data
 		newData := data[:nSect*geom.SectorSize]
 
 		// Read old data and old parity (2 reads).
-		oldData, err := a.subRead(p, rq, dev, devChunk, off, nSect)
+		oldData, err := a.subRead(p, rq, dev, devChunk, off, nSect, opts)
 		if err != nil {
 			return err
 		}
-		oldParity, err := a.subRead(p, rq, pDev, stripe, off, nSect)
+		oldParity, err := a.subRead(p, rq, pDev, stripe, off, nSect, opts)
 		if err != nil {
 			return err
 		}
@@ -505,10 +615,10 @@ func (a *Array) smallWrite(p *sim.Proc, rq *span.Req, lba int64, count int, data
 		xorInto(parity, newData)
 
 		// Write new data and new parity (2 writes).
-		if err := a.subWrite(p, rq, dev, devChunk, off, newData); err != nil {
+		if err := a.subWrite(p, rq, dev, devChunk, off, newData, opts); err != nil {
 			return err
 		}
-		if err := a.subWrite(p, rq, pDev, stripe, off, parity); err != nil {
+		if err := a.subWrite(p, rq, pDev, stripe, off, parity, opts); err != nil {
 			return err
 		}
 		a.stats.SmallWrites++

@@ -32,9 +32,18 @@ type ScrubReport struct {
 	Unrepairable int64
 }
 
+// scrubOpts tags scrubber I/O as Background: under overload it is the
+// first traffic the admission gate and bounded schedulers shed.
+func scrubOpts() blockdev.Options {
+	return blockdev.Options{Class: blockdev.ClassBackground}
+}
+
 // Scrub reads every chunk of every live device once, repairing unreadable
 // or known-bad sectors from parity. It blocks p for the full pass; use
-// StartScrubber for periodic background scrubbing.
+// StartScrubber for periodic background scrubbing. With QoS active, each
+// chunk admits through the array's gate at Background class — chunks the
+// gate refuses are skipped (counted as ScrubYields) so foreground traffic
+// degrades the scrub, never the other way around.
 func (a *Array) Scrub(p *sim.Proc) (*ScrubReport, error) {
 	rep := &ScrubReport{}
 	perDev := a.devs[0].Sectors() / int64(a.chunk) * int64(a.chunk)
@@ -46,11 +55,20 @@ func (a *Array) Scrub(p *sim.Proc) (*ScrubReport, error) {
 			if dev == a.failed { // dropped mid-pass by a concurrent op
 				break
 			}
+			if a.ctl != nil {
+				if aerr := a.ctl.Admit(p, scrubOpts()); aerr != nil {
+					a.stats.ScrubYields++
+					continue
+				}
+			}
 			rep.SectorsScanned += int64(a.chunk)
 			stripe := lba / int64(a.chunk)
 			a.lockStripe(p, stripe)
 			err := a.scrubDevChunk(p, dev, lba, rep)
 			a.unlockStripe(stripe)
+			if a.ctl != nil {
+				a.ctl.Release()
+			}
 			if err == nil {
 				continue
 			}
@@ -74,7 +92,7 @@ func (a *Array) Scrub(p *sim.Proc) (*ScrubReport, error) {
 // drop.
 func (a *Array) scrubDevChunk(p *sim.Proc, dev int, lba int64, rep *ScrubReport) error {
 	a.stats.DeviceReads++
-	_, err := a.devs[dev].Read(p, lba, a.chunk)
+	_, err := blockdev.ReadOpts(p, a.devs[dev], lba, a.chunk, scrubOpts())
 	needProbe := false
 	switch {
 	case err == nil:
@@ -101,7 +119,7 @@ func (a *Array) scrubChunk(p *sim.Proc, dev int, lba int64, rep *ScrubReport) er
 		damaged := a.anyBad(dev, slba, 1)
 		if !damaged {
 			a.stats.DeviceReads++
-			_, err := a.devs[dev].Read(p, slba, 1)
+			_, err := blockdev.ReadOpts(p, a.devs[dev], slba, 1, scrubOpts())
 			switch {
 			case err == nil:
 				continue
@@ -124,7 +142,7 @@ func (a *Array) scrubChunk(p *sim.Proc, dev int, lba int64, rep *ScrubReport) er
 // it. A successful write heals the sector (drive remap); a failed one leaves
 // it on the bad list for the next pass.
 func (a *Array) repairSector(p *sim.Proc, dev int, slba int64, rep *ScrubReport) error {
-	good, err := a.reconstruct(p, dev, slba, 1)
+	good, err := a.reconstruct(p, dev, slba, 1, scrubOpts())
 	if err != nil {
 		if errors.Is(err, blockdev.ErrDeviceFailed) {
 			return err
@@ -136,7 +154,7 @@ func (a *Array) repairSector(p *sim.Proc, dev int, slba int64, rep *ScrubReport)
 		return nil
 	}
 	a.stats.DeviceWrites++
-	switch werr := a.devs[dev].Write(p, slba, 1, good); {
+	switch werr := blockdev.WriteOpts(p, a.devs[dev], slba, 1, good, scrubOpts()); {
 	case werr == nil:
 		a.clearBad(dev, slba, 1)
 		rep.Repaired++

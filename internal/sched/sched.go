@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"time"
 
+	"tracklog/internal/blockdev"
 	"tracklog/internal/disk"
 	"tracklog/internal/sim"
 	"tracklog/internal/trace"
@@ -77,6 +78,17 @@ type Request struct {
 	// write-back traffic. Always populated; recording them costs nothing.
 	DepthAtSubmit int
 	WritesAhead   int
+
+	// Deadline is the request's absolute virtual-time deadline (0 = none).
+	// An expired request completes with blockdev.ErrDeadlineExceeded
+	// without touching the disk, and a request whose deadline is within
+	// urgentSlack of now is dispatched earliest-deadline-first ahead of
+	// the policy's normal order.
+	Deadline sim.Time
+	// Class is the request's shed priority when the queue depth is
+	// bounded: on a full queue the lowest-class queued request is shed to
+	// admit a higher-class newcomer.
+	Class blockdev.Class
 }
 
 // Wait blocks p until the request completes and returns its total latency
@@ -95,6 +107,12 @@ type Stats struct {
 	MaxDepth int
 	// Errors counts requests that completed with a fault.
 	Errors int64
+	// Shed counts requests completed with blockdev.ErrOverload because the
+	// bounded queue was full.
+	Shed int64
+	// Expired counts requests completed with blockdev.ErrDeadlineExceeded
+	// before reaching the disk.
+	Expired int64
 }
 
 // Queue is a request queue bound to one drive. Create with New; submit with
@@ -108,6 +126,7 @@ type Queue struct {
 	nonEmpty      *sim.Cond
 	lastLBA       int64
 	sweepUp       bool
+	maxDepth      int // 0 = unbounded
 	stats         Stats
 
 	tr     *trace.Tracer
@@ -145,13 +164,100 @@ func (q *Queue) Stats() Stats { return q.stats }
 // Depth returns the number of pending requests.
 func (q *Queue) Depth() int { return len(q.reads) + len(q.writes) }
 
+// SetMaxDepth bounds the pending-request depth (0 restores unbounded).
+// When a Submit finds the queue full, the lowest-class queued request is
+// shed with blockdev.ErrOverload to make room — or the newcomer itself,
+// if nothing queued has a lower class.
+func (q *Queue) SetMaxDepth(n int) { q.maxDepth = n }
+
+// urgentSlack is the deadline horizon for earliest-deadline-first
+// dispatch: a queued request whose deadline is this close to now jumps
+// the policy's normal order. Requests without deadlines never jump.
+const urgentSlack = 5 * time.Millisecond
+
+// fail completes req with err without touching the disk.
+func (q *Queue) fail(req *Request, err error) {
+	req.Err = err
+	req.Result.Err = err
+	req.Result.Start = q.env.Now()
+	req.Result.End = q.env.Now()
+	q.stats.Completed++
+	q.stats.Errors++
+	req.Done.Trigger()
+}
+
+// shedVictim returns the queued request with the lowest shed order if it
+// ranks strictly below class, preferring the newest arrival among equals
+// (earlier arrivals keep their slot). Returns nil when nothing queued
+// ranks below class.
+func (q *Queue) shedVictim(class blockdev.Class) *Request {
+	var victim *Request
+	consider := func(r *Request) {
+		if victim == nil ||
+			r.Class.ShedOrder() < victim.Class.ShedOrder() ||
+			(r.Class.ShedOrder() == victim.Class.ShedOrder() && r.Queued >= victim.Queued) {
+			victim = r
+		}
+	}
+	for _, r := range q.reads {
+		consider(r)
+	}
+	for _, r := range q.writes {
+		consider(r)
+	}
+	if victim == nil || victim.Class.ShedOrder() >= class.ShedOrder() {
+		return nil
+	}
+	return victim
+}
+
+// remove unlinks req from whichever pending list holds it.
+func (q *Queue) remove(req *Request) {
+	for i, r := range q.reads {
+		if r == req {
+			q.removeRead(i)
+			return
+		}
+	}
+	for i, r := range q.writes {
+		if r == req {
+			q.removeWrite(i)
+			return
+		}
+	}
+}
+
 // Submit enqueues req and returns immediately. The caller waits on req.Done
-// if it needs completion.
+// if it needs completion — including when the request is shed: a full
+// bounded queue completes req (or a lower-class victim) with
+// blockdev.ErrOverload before returning.
 func (q *Queue) Submit(req *Request) {
 	if req.Done == nil {
 		req.Done = sim.NewEvent(q.env)
 	}
 	req.Queued = q.env.Now()
+	if q.maxDepth > 0 && q.Depth() >= q.maxDepth {
+		victim := q.shedVictim(req.Class)
+		if victim == nil {
+			// Nothing queued ranks below the newcomer: shed the newcomer.
+			q.stats.Submitted++
+			q.stats.Shed++
+			if q.tr != nil {
+				q.tr.Emit(trace.Event{At: int64(req.Queued), Kind: trace.KShed, Track: q.trName,
+					LBA: req.LBA, Count: req.Count, A: int64(q.Depth()), B: writeFlag(req.Write)})
+			}
+			q.fail(req, fmt.Errorf("sched: queue full (depth %d): %w", q.Depth(), blockdev.ErrOverload))
+			return
+		}
+		q.remove(victim)
+		q.stats.Shed++
+		if q.tr != nil {
+			q.tr.Emit(trace.Event{At: int64(q.env.Now()), Kind: trace.KShed, Track: q.trName,
+				LBA: victim.LBA, Count: victim.Count, A: int64(q.Depth()), B: writeFlag(victim.Write)})
+		}
+		q.fail(victim, fmt.Errorf("sched: evicted %s for %s arrival: %w",
+			victim.Class, req.Class, blockdev.ErrOverload))
+	}
 	req.DepthAtSubmit = q.Depth()
 	req.WritesAhead = len(q.writes)
 	if req.Write {
@@ -178,11 +284,37 @@ func (q *Queue) Do(p *sim.Proc, req *Request) disk.Result {
 	return req.Result
 }
 
+// expireStale completes every queued request whose deadline has passed
+// with blockdev.ErrDeadlineExceeded, so expired work never occupies the
+// disk.
+func (q *Queue) expireStale(now sim.Time) {
+	for _, list := range []*[]*Request{&q.reads, &q.writes} {
+		kept := (*list)[:0]
+		for _, r := range *list {
+			if r.Deadline != 0 && now >= r.Deadline {
+				q.stats.Expired++
+				if q.tr != nil {
+					q.tr.Emit(trace.Event{At: int64(now), Kind: trace.KDeadline, Track: q.trName,
+						LBA: r.LBA, Count: r.Count, B: writeFlag(r.Write)})
+				}
+				q.fail(r, fmt.Errorf("sched: queued past deadline: %w", blockdev.ErrDeadlineExceeded))
+				continue
+			}
+			kept = append(kept, r)
+		}
+		*list = kept
+	}
+}
+
 // worker is the queue's dispatch loop.
 func (q *Queue) worker(p *sim.Proc) {
 	for {
 		for q.Depth() == 0 {
 			q.nonEmpty.Wait(p)
+		}
+		q.expireStale(p.Now())
+		if q.Depth() == 0 {
+			continue
 		}
 		req := q.pick()
 		q.stats.QueueWait += p.Now().Sub(req.Queued)
@@ -205,8 +337,16 @@ func (q *Queue) worker(p *sim.Proc) {
 	}
 }
 
-// pick removes and returns the next request per the policy.
+// pick removes and returns the next request per the policy. A request
+// whose deadline is within urgentSlack of now pre-empts the policy:
+// among urgent requests the earliest deadline wins (ties broken by
+// arrival order, then reads before writes), so deadlines at risk are
+// served before the elevator finishes its sweep.
 func (q *Queue) pick() *Request {
+	if urgent := q.pickUrgent(q.env.Now()); urgent != nil {
+		q.remove(urgent)
+		return urgent
+	}
 	switch q.policy {
 	case FIFO:
 		return q.popFIFO()
@@ -222,6 +362,25 @@ func (q *Queue) pick() *Request {
 	default:
 		panic(fmt.Sprintf("sched: unknown policy %v", q.policy))
 	}
+}
+
+// pickUrgent returns the queued request with the earliest at-risk
+// deadline (within urgentSlack of now), or nil. Reads are scanned before
+// writes so the read/write tie-break is deterministic.
+func (q *Queue) pickUrgent(now sim.Time) *Request {
+	var best *Request
+	for _, list := range [][]*Request{q.reads, q.writes} {
+		for _, r := range list {
+			if r.Deadline == 0 || r.Deadline.Sub(now) > urgentSlack {
+				continue
+			}
+			if best == nil || r.Deadline < best.Deadline ||
+				(r.Deadline == best.Deadline && r.Queued < best.Queued) {
+				best = r
+			}
+		}
+	}
+	return best
 }
 
 func (q *Queue) popFIFO() *Request {

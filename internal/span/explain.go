@@ -67,6 +67,7 @@ func ExplainTail(reqs []*Request, frac float64) *TailReport {
 func explain(r *Request) TailEntry {
 	var tot [numPhases]int64
 	var rotPeriod, maxDepth, maxWritesAhead, retries int64
+	var shed, expired bool
 	for _, s := range r.Spans {
 		tot[s.Phase] += s.Dur()
 		switch s.Phase {
@@ -83,6 +84,10 @@ func explain(r *Request) TailEntry {
 			}
 		case PRetry:
 			retries++
+		case PShed:
+			shed = true
+		case PDeadline:
+			expired = true
 		}
 	}
 	dominant := Phase(0)
@@ -99,12 +104,26 @@ func explain(r *Request) TailEntry {
 	}
 	return TailEntry{
 		Req: r, Latency: time.Duration(lat), Dominant: dominant, SharePct: pct,
-		Cause: cause(r, dominant, tot[:], rotPeriod, maxDepth, maxWritesAhead, retries),
+		Cause: cause(r, dominant, tot[:], rotPeriod, maxDepth, maxWritesAhead, retries, shed, expired),
 	}
 }
 
 // cause names the root cause with deterministic rules, most specific first.
-func cause(r *Request, dominant Phase, tot []int64, rotPeriod, depth, writesAhead, retries int64) string {
+// Overload outcomes outrank everything else: a shed or expired request's
+// story is the overload, whatever phase happened to dominate its latency.
+func cause(r *Request, dominant Phase, tot []int64, rotPeriod, depth, writesAhead, retries int64, shed, expired bool) string {
+	if shed {
+		return "shed at admission (overload)"
+	}
+	if expired {
+		if tot[PThrottle] > 0 {
+			return "deadline exceeded while throttled (overload)"
+		}
+		return "deadline exceeded under overload"
+	}
+	if dominant == PThrottle {
+		return "throttled against write-back progress (log pressure)"
+	}
 	if r.Err {
 		return "failed: gave up after retries"
 	}

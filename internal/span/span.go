@@ -59,6 +59,15 @@ const (
 	PSubRead
 	// PSubWrite is an array member write sub-operation. A = member index.
 	PSubWrite
+	// PThrottle is foreground-write stall time spent throttled against
+	// write-back progress under log pressure. A = staged bytes at entry.
+	PThrottle
+	// PShed is a zero-duration marker: the request was refused at
+	// admission with ErrOverload. A = queue depth at the decision.
+	PShed
+	// PDeadline is a zero-duration marker: the request was abandoned with
+	// ErrDeadlineExceeded. A = nanoseconds past the deadline.
+	PDeadline
 
 	numPhases
 )
@@ -67,6 +76,7 @@ var phaseNames = [numPhases]string{
 	"queue", "trackswitch", "retry", "turnaround", "overhead", "seek",
 	"headswitch", "settle", "rotwait", "transfer", "staging",
 	"locate", "rebuild", "writeback", "subread", "subwrite",
+	"throttle", "shed", "deadline",
 }
 
 func (p Phase) String() string {

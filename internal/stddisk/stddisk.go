@@ -11,6 +11,7 @@ import (
 
 	"tracklog/internal/blockdev"
 	"tracklog/internal/disk"
+	"tracklog/internal/qos"
 	"tracklog/internal/sched"
 	"tracklog/internal/sim"
 	"tracklog/internal/span"
@@ -37,6 +38,7 @@ type Device struct {
 	queue *sched.Queue
 	size  int64
 	stats Stats
+	pol   *qos.Policy
 
 	tr     *trace.Tracer
 	trName string
@@ -46,7 +48,10 @@ type Device struct {
 	rot     time.Duration
 }
 
-var _ blockdev.Device = (*Device)(nil)
+var (
+	_ blockdev.Device         = (*Device)(nil)
+	_ blockdev.OptionedDevice = (*Device)(nil)
+)
 
 // New wraps d as a block device with the given scheduling policy (use
 // sched.LOOK for the paper's baseline).
@@ -66,6 +71,15 @@ func (d *Device) Sectors() int64 { return d.size }
 
 // Queue returns the underlying request queue, for stats.
 func (d *Device) Queue() *sched.Queue { return d.queue }
+
+// SetQoS applies an overload policy: the scheduler queue depth is bounded
+// (excess arrivals shed lowest-class-first with blockdev.ErrOverload),
+// default deadlines apply to requests without one, and retry budgets become
+// per-class. nil restores the historical unbounded behaviour.
+func (d *Device) SetQoS(pol *qos.Policy) {
+	d.pol = pol
+	d.queue.SetMaxDepth(pol.DepthBound())
+}
 
 // SetTracer attaches the device — its drive, its scheduler queue, and its
 // own retry decisions — to a tracer under the given track name. Pass nil to
@@ -93,11 +107,18 @@ func (d *Device) SetRecorder(rec *span.Recorder, name string) {
 // do issues one command with bounded retry on transient failures. Each
 // retry is a full re-issue through the scheduler, so the head repositions
 // onto the target again exactly as a real driver's retried command would.
-func (d *Device) do(p *sim.Proc, verb string, mk func() *sched.Request) (*sched.Request, error) {
+// With a QoS policy attached, the deadline rides into the scheduler (which
+// sheds and expires), a retry never fires past the deadline, and the retry
+// budget is the request class's.
+func (d *Device) do(p *sim.Proc, verb string, opts blockdev.Options, mk func() *sched.Request) (*sched.Request, error) {
+	opts.Deadline = d.pol.Deadline(p.Now(), opts.Deadline)
+	budget := d.pol.RetryBudget(opts.Class, maxRetries+1) - 1
 	var rq *span.Req
 	var cursor int64 // attribution frontier: all time before it is accounted
 	for attempt := 0; ; attempt++ {
 		req := mk()
+		req.Deadline = opts.Deadline
+		req.Class = opts.Class
 		if d.rec != nil && attempt == 0 {
 			kind := span.KRead
 			if req.Write {
@@ -115,9 +136,28 @@ func (d *Device) do(p *sim.Proc, verb string, mk func() *sched.Request) (*sched.
 			rq.Finish(int64(res.End), false)
 			return req, nil
 		}
+		if blockdev.IsShed(req.Err) || blockdev.IsExpired(req.Err) {
+			// Overload outcome from the bounded scheduler: no retry.
+			d.stats.Failures++
+			if blockdev.IsShed(req.Err) {
+				rq.Point(span.PShed, int64(res.End), int64(req.DepthAtSubmit), 0)
+			} else {
+				rq.Point(span.PDeadline, int64(res.End), int64(p.Now().Sub(opts.Deadline)), 0)
+			}
+			rq.Finish(int64(res.End), true)
+			return nil, fmt.Errorf("stddisk %v %s: %w", d.id, verb, req.Err)
+		}
 		rq.ChildAB(span.PRetry, int64(res.Start), int64(res.End), int64(attempt+1), 0)
 		cursor = int64(res.End)
-		if blockdev.IsTransient(req.Err) && attempt < maxRetries {
+		if blockdev.IsTransient(req.Err) && attempt < budget {
+			if opts.Expired(p.Now()) {
+				// The retry would fire past the deadline: abandon instead.
+				d.stats.Failures++
+				rq.Point(span.PDeadline, int64(res.End), int64(p.Now().Sub(opts.Deadline)), 0)
+				rq.Finish(int64(res.End), true)
+				return nil, fmt.Errorf("stddisk %v %s: retry past deadline: %w",
+					d.id, verb, blockdev.ErrDeadlineExceeded)
+			}
 			d.stats.Retries++
 			if d.tr != nil {
 				d.tr.Emit(trace.Event{At: int64(p.Now()), Kind: trace.KRetry,
@@ -135,10 +175,15 @@ func (d *Device) do(p *sim.Proc, verb string, mk func() *sched.Request) (*sched.
 // service time. Transient command failures are retried up to maxRetries;
 // other faults surface wrapping their blockdev sentinel.
 func (d *Device) Read(p *sim.Proc, lba int64, count int) ([]byte, error) {
+	return d.ReadOpts(p, lba, count, blockdev.Options{})
+}
+
+// ReadOpts reads with per-request QoS options.
+func (d *Device) ReadOpts(p *sim.Proc, lba int64, count int, opts blockdev.Options) ([]byte, error) {
 	if err := blockdev.CheckRange(d.size, lba, count); err != nil {
 		return nil, fmt.Errorf("stddisk %v read: %w", d.id, err)
 	}
-	req, err := d.do(p, "read", func() *sched.Request {
+	req, err := d.do(p, "read", opts, func() *sched.Request {
 		return &sched.Request{LBA: lba, Count: count}
 	})
 	if err != nil {
@@ -151,10 +196,15 @@ func (d *Device) Read(p *sim.Proc, lba int64, count int) ([]byte, error) {
 // sectors are on the platter. Transient command failures are retried up to
 // maxRetries; other faults surface wrapping their blockdev sentinel.
 func (d *Device) Write(p *sim.Proc, lba int64, count int, data []byte) error {
+	return d.WriteOpts(p, lba, count, data, blockdev.Options{})
+}
+
+// WriteOpts writes with per-request QoS options.
+func (d *Device) WriteOpts(p *sim.Proc, lba int64, count int, data []byte, opts blockdev.Options) error {
 	if err := blockdev.CheckRange(d.size, lba, count); err != nil {
 		return fmt.Errorf("stddisk %v write: %w", d.id, err)
 	}
-	_, err := d.do(p, "write", func() *sched.Request {
+	_, err := d.do(p, "write", opts, func() *sched.Request {
 		return &sched.Request{Write: true, LBA: lba, Count: count, Data: data}
 	})
 	return err

@@ -64,6 +64,11 @@ const (
 	KProcEnd   // process function returned
 	KSched     // parked process readied (woken) by a primitive
 	KBlock     // process parked on a primitive
+
+	// QoS: admission control and deadlines.
+	KShed     // request shed at admission (overload); A = queue depth, B=1 for writes
+	KDeadline // request abandoned past its deadline; B=1 for writes
+	KThrottle // foreground write throttled against write-back; Dur = stall, A = staged bytes
 )
 
 // String returns the stable event-name used in exported traces.
@@ -98,6 +103,9 @@ var kindNames = [...]string{
 	KProcEnd:      "proc-end",
 	KSched:        "sched",
 	KBlock:        "block",
+	KShed:         "shed",
+	KDeadline:     "deadline",
+	KThrottle:     "throttle",
 }
 
 // Event is one structured trace event. At/Dur are virtual nanoseconds; Track

@@ -3,11 +3,10 @@ package trail
 import (
 	"fmt"
 	"testing"
-	"time"
 
 	"tracklog/internal/blockdev"
+	"tracklog/internal/crashcheck"
 	"tracklog/internal/disk"
-	"tracklog/internal/geom"
 	"tracklog/internal/sched"
 	"tracklog/internal/sim"
 	"tracklog/internal/stddisk"
@@ -15,14 +14,9 @@ import (
 
 // TestCrashConsistencyProperty is the reproduction's core integrity check:
 // cut power at many different instants during a concurrent write workload
-// and verify, after recovery, that every ACKNOWLEDGED write survives.
-//
-// Each writer owns one slot (a distinct LBA) and stamps every write with a
-// monotonically increasing version, recording the version once the driver
-// acknowledges it. After crash + recovery, the slot must hold either its
-// last acknowledged version or a newer in-flight one (a write torn before
-// acknowledgement may legitimately be lost — but never an acknowledged one,
-// and never a mix of two versions).
+// and verify, after recovery, that every ACKNOWLEDGED write survives. The
+// workload shape, power cut, and audit live in the shared crashcheck
+// harness; this file supplies the Trail stack.
 func TestCrashConsistencyProperty(t *testing.T) {
 	for trial := 0; trial < 12; trial++ {
 		trial := trial
@@ -38,129 +32,57 @@ func runCrashTrial(t *testing.T, seed uint64) {
 		sectorsPer  = 4
 		slotSpacing = 64
 	)
-	env := sim.NewEnv()
-	log := disk.New(env, testLogParams())
-	if err := Format(log); err != nil {
-		t.Fatal(err)
-	}
-	data := disk.New(env, testDataParams("d"))
-	drv, err := NewDriver(env, log, []*disk.Disk{data}, Config{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	dev := drv.Dev(0)
-
-	acked := make([]int, slots) // last acknowledged version per slot
-	rng := sim.NewRand(seed + 1000)
-	for s := 0; s < slots; s++ {
-		s := s
-		gap := time.Duration(rng.IntRange(0, 4000)) * time.Microsecond
-		env.Go(fmt.Sprintf("slot-%d", s), func(p *sim.Proc) {
-			for v := 1; ; v++ {
-				buf := versionPayload(s, v, sectorsPer)
-				if err := dev.Write(p, int64(s*slotSpacing), sectorsPer, buf); err != nil {
-					return
+	var log, data *disk.Disk
+	crashcheck.Run(t, seed, crashcheck.Stack{
+		Slots: slots,
+		Build: func(t testing.TB, env *sim.Env) crashcheck.WriteFunc {
+			log = disk.New(env, testLogParams())
+			if err := Format(log); err != nil {
+				t.Fatal(err)
+			}
+			data = disk.New(env, testDataParams("d"))
+			drv, err := NewDriver(env, log, []*disk.Disk{data}, Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			dev := drv.Dev(0)
+			return func(p *sim.Proc, slot, version int) error {
+				buf := crashcheck.Payload(slot, version, sectorsPer)
+				return dev.Write(p, int64(slot*slotSpacing), sectorsPer, buf)
+			}
+		},
+		Recover: func(t testing.TB, env2 *sim.Env) crashcheck.ReadFunc {
+			log.Reattach(env2)
+			data.Reattach(env2)
+			id := blockdev.DevID{Major: 8, Minor: 0}
+			devs := map[blockdev.DevID]blockdev.Device{id: stddisk.New(env2, data, id, sched.FIFO)}
+			var rerr error
+			env2.Go("recover", func(p *sim.Proc) {
+				_, rerr = Recover(p, log, devs, RecoverOptions{})
+			})
+			env2.Run()
+			if rerr != nil {
+				t.Fatalf("recover: %v", rerr)
+			}
+			// Audit the raw media: recovery must have restored every logged
+			// sector to the data disk itself, not just made it readable.
+			return func(p *sim.Proc, slot int) (int, bool) {
+				got := data.MediaRead(int64(slot*slotSpacing), sectorsPer)
+				return crashcheck.ParseVersion(got, slot, sectorsPer)
+			}
+		},
+		Post: func(t testing.TB, env2 *sim.Env) {
+			// The recovered system restarts and accepts writes.
+			drv2, err := NewDriver(env2, log, []*disk.Disk{data}, Config{})
+			if err != nil {
+				t.Fatalf("restart: %v", err)
+			}
+			env2.Go("post", func(p *sim.Proc) {
+				if err := drv2.Dev(0).Write(p, 4096, 1, fill(1, 1)); err != nil {
+					t.Errorf("post-recovery write: %v", err)
 				}
-				acked[s] = v
-				p.Sleep(gap)
-			}
-		})
-	}
-
-	// Cut power at a seed-dependent instant, mid-flight.
-	cut := time.Duration(5+rng.IntRange(0, 120)) * time.Millisecond
-	env.RunUntil(sim.Time(cut))
-	env.Close()
-
-	// Reboot and recover.
-	env2 := sim.NewEnv()
-	defer env2.Close()
-	log.Reattach(env2)
-	data.Reattach(env2)
-	id := blockdev.DevID{Major: 8, Minor: 0}
-	devs := map[blockdev.DevID]blockdev.Device{id: stddisk.New(env2, data, id, sched.FIFO)}
-	var rerr error
-	env2.Go("recover", func(p *sim.Proc) {
-		_, rerr = Recover(p, log, devs, RecoverOptions{})
+			})
+			env2.Run()
+		},
 	})
-	env2.Run()
-	if rerr != nil {
-		t.Fatalf("recover: %v", rerr)
-	}
-
-	// Audit every slot.
-	for s := 0; s < slots; s++ {
-		got := data.MediaRead(int64(s*slotSpacing), sectorsPer)
-		v, consistent := parseVersion(got, s, sectorsPer)
-		if !consistent {
-			t.Errorf("seed %d slot %d: torn/mixed payload on data disk", seed, s)
-			continue
-		}
-		if v < acked[s] {
-			t.Errorf("seed %d slot %d: acknowledged version %d lost (found %d)", seed, s, acked[s], v)
-		}
-	}
-
-	// The recovered system restarts and accepts writes.
-	drv2, err := NewDriver(env2, log, []*disk.Disk{data}, Config{})
-	if err != nil {
-		t.Fatalf("restart: %v", err)
-	}
-	env2.Go("post", func(p *sim.Proc) {
-		if err := drv2.Dev(0).Write(p, 4096, 1, fill(1, 1)); err != nil {
-			t.Errorf("post-recovery write: %v", err)
-		}
-	})
-	env2.Run()
-}
-
-// versionPayload builds a payload whose every sector encodes (slot,
-// version), so mixing versions is detectable.
-func versionPayload(slot, version, sectors int) []byte {
-	buf := make([]byte, sectors*geom.SectorSize)
-	for sec := 0; sec < sectors; sec++ {
-		copy(buf[sec*geom.SectorSize:], fmt.Sprintf("slot=%d version=%d sector=%d", slot, version, sec))
-		// Fill the rest deterministically from (slot, version).
-		for i := 64; i < geom.SectorSize; i++ {
-			buf[sec*geom.SectorSize+i] = byte(slot*31 + version*7 + sec)
-		}
-	}
-	return buf
-}
-
-// parseVersion extracts the version from a slot's on-disk payload and
-// checks all sectors agree (no torn mixes). Version 0 with consistent=true
-// means "never written".
-func parseVersion(buf []byte, slot, sectors int) (int, bool) {
-	allZero := true
-	for _, b := range buf {
-		if b != 0 {
-			allZero = false
-			break
-		}
-	}
-	if allZero {
-		return 0, true
-	}
-	version := -1
-	for sec := 0; sec < sectors; sec++ {
-		var gotSlot, gotVer, gotSec int
-		n, err := fmt.Sscanf(string(buf[sec*geom.SectorSize:sec*geom.SectorSize+64]),
-			"slot=%d version=%d sector=%d", &gotSlot, &gotVer, &gotSec)
-		if err != nil || n != 3 || gotSlot != slot || gotSec != sec {
-			return 0, false
-		}
-		if version == -1 {
-			version = gotVer
-		} else if gotVer != version {
-			return 0, false // mixed versions across sectors
-		}
-		// Verify the filler too.
-		for i := 64; i < geom.SectorSize; i++ {
-			if buf[sec*geom.SectorSize+i] != byte(slot*31+gotVer*7+sec) {
-				return 0, false
-			}
-		}
-	}
-	return version, true
 }

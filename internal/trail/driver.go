@@ -9,6 +9,7 @@ import (
 	"tracklog/internal/disk"
 	"tracklog/internal/geom"
 	"tracklog/internal/metrics"
+	"tracklog/internal/qos"
 	"tracklog/internal/sched"
 	"tracklog/internal/sim"
 	"tracklog/internal/span"
@@ -65,6 +66,11 @@ type Config struct {
 	IdleReposition time.Duration
 	// DataPolicy schedules the data disks (paper: reads have priority).
 	DataPolicy sched.Policy
+	// QoS enables overload protection: bounded log-queue admission with
+	// ErrOverload shedding, per-request deadlines, per-class retry
+	// budgets, and foreground-write throttling against write-back
+	// progress. nil disables QoS entirely (historical behaviour).
+	QoS *qos.Policy
 }
 
 // Default returns the paper's configuration.
@@ -138,6 +144,18 @@ type Stats struct {
 	WritebackRetries    int64
 	AbandonedWritebacks int64
 	FailedWrites        int64
+	// QoS telemetry (all zero while Config.QoS is nil):
+	// ShedWrites counts writes refused at admission with ErrOverload;
+	// DeadlineExceeded counts requests abandoned past their deadline;
+	// ThrottleStalls/ThrottleTime account foreground writes stalled
+	// against write-back progress; MaxLogQueue is the log queue's
+	// high-water mark (always tracked — it is the degradation signal the
+	// Overload experiment plots).
+	ShedWrites       int64
+	DeadlineExceeded int64
+	ThrottleStalls   int64
+	ThrottleTime     time.Duration
+	MaxLogQueue      int
 }
 
 // FaultCounters exports the driver's fault/retry telemetry as a metrics
@@ -171,6 +189,10 @@ func (s Stats) Counters() *metrics.Counters {
 	c.Set("trail.superseded_writebacks", s.SupersededWriteBacks)
 	c.Set("trail.reads_from_staging", s.ReadsFromStaging)
 	c.Set("trail.idle_refreshes", s.IdleRefreshes)
+	c.Set("trail.shed_writes", s.ShedWrites)
+	c.Set("trail.deadline_exceeded", s.DeadlineExceeded)
+	c.Set("trail.throttle_stalls", s.ThrottleStalls)
+	c.Set("trail.max_log_queue", int64(s.MaxLogQueue))
 	return c
 }
 
@@ -191,6 +213,11 @@ type pendingWrite struct {
 	data   []byte
 	done   *sim.Event
 	queued sim.Time
+	// deadline is the request's absolute virtual-time deadline (0 = none):
+	// past it the driver abandons the request with ErrDeadlineExceeded
+	// instead of logging or retrying it. class selects its retry budget.
+	deadline sim.Time
+	class    blockdev.Class
 	// retries counts failed log-write attempts for this request; err is the
 	// terminal failure handed back to the client when done fires (nil on
 	// success).
@@ -278,6 +305,10 @@ type Driver struct {
 	allIdleCond  *sim.Cond
 	lastActivity sim.Time
 
+	// wbProgress wakes foreground writes throttled against write-back
+	// progress; broadcast whenever a write-back flight completes.
+	wbProgress *sim.Cond
+
 	stats  Stats
 	closed bool
 	// failed holds the terminal error once every log disk has died; all
@@ -350,6 +381,7 @@ func NewDriverMulti(env *sim.Env, logs []*disk.Disk, data []*disk.Disk, cfg Conf
 		logQCond:    sim.NewCond(env),
 		staging:     make(map[bufKey]*bufEntry),
 		allIdleCond: sim.NewCond(env),
+		wbProgress:  sim.NewCond(env),
 	}
 	for i, lg := range logs {
 		ld := &logDisk{
@@ -487,7 +519,10 @@ type DataDev struct {
 	size int64
 }
 
-var _ blockdev.Device = (*DataDev)(nil)
+var (
+	_ blockdev.Device         = (*DataDev)(nil)
+	_ blockdev.OptionedDevice = (*DataDev)(nil)
+)
 
 // ID returns the device identity.
 func (dv *DataDev) ID() blockdev.DevID { return dv.id }
@@ -497,25 +532,108 @@ func (dv *DataDev) Sectors() int64 { return dv.size }
 
 // Read returns count sectors at lba.
 func (dv *DataDev) Read(p *sim.Proc, lba int64, count int) ([]byte, error) {
+	return dv.ReadOpts(p, lba, count, blockdev.Options{})
+}
+
+// ReadOpts reads with per-request QoS options.
+func (dv *DataDev) ReadOpts(p *sim.Proc, lba int64, count int, opts blockdev.Options) ([]byte, error) {
 	if err := blockdev.CheckRange(dv.size, lba, count); err != nil {
 		return nil, fmt.Errorf("trail %v read: %w", dv.id, err)
 	}
-	return dv.drv.read(p, dv.idx, lba, count)
+	return dv.drv.read(p, dv.idx, lba, count, opts)
 }
 
 // Write makes count sectors at lba durable; it returns as soon as the data
 // is on the log disk.
 func (dv *DataDev) Write(p *sim.Proc, lba int64, count int, data []byte) error {
+	return dv.WriteOpts(p, lba, count, data, blockdev.Options{})
+}
+
+// WriteOpts writes with per-request QoS options.
+func (dv *DataDev) WriteOpts(p *sim.Proc, lba int64, count int, data []byte, opts blockdev.Options) error {
 	if err := blockdev.CheckRange(dv.size, lba, count); err != nil {
 		return fmt.Errorf("trail %v write: %w", dv.id, err)
 	}
-	return dv.drv.write(p, dv.idx, lba, count, data)
+	return dv.drv.write(p, dv.idx, lba, count, data, opts)
+}
+
+// shedWrite refuses a write at admission: the log queue is at the class's
+// bound and the request completes immediately with ErrOverload, recorded as
+// a zero-latency span tree whose single marker names the shed.
+func (d *Driver) shedWrite(p *sim.Proc, devIdx int, lba int64, count int) error {
+	d.stats.ShedWrites++
+	if d.tr != nil {
+		d.tr.Emit(trace.Event{At: int64(p.Now()), Kind: trace.KShed, Track: "trail",
+			LBA: lba, Count: count, A: int64(len(d.logQ)), B: 1})
+	}
+	if d.rec != nil {
+		now := int64(p.Now())
+		rq := d.rec.Start(span.KWrite, "trail", d.spanNames[devIdx], lba, count, now)
+		rq.Point(span.PShed, now, int64(len(d.logQ)), 0)
+		rq.Finish(now, true)
+	}
+	return fmt.Errorf("trail %v write: log queue full (depth %d): %w",
+		d.devIDs[devIdx], len(d.logQ), blockdev.ErrOverload)
+}
+
+// throttleWrite stalls a foreground write against write-back progress when
+// staged-but-unwritten bytes exceed the policy's high-water mark, resuming
+// below the low-water mark (or failing with ErrDeadlineExceeded if the
+// request's deadline passes while throttled). The stall is attributed as a
+// PThrottle span child so ExplainTail can name log pressure as root cause.
+func (d *Driver) throttleWrite(p *sim.Proc, devIdx int, lba int64, count int, deadline sim.Time) error {
+	pol := d.cfg.QoS
+	if pol == nil || pol.HighWater <= 0 {
+		return nil
+	}
+	stagedAtEntry := d.StagedBytes()
+	if stagedAtEntry < int64(pol.HighWater) {
+		return nil
+	}
+	low := int64(pol.LowWater)
+	if low <= 0 || low > int64(pol.HighWater) {
+		low = int64(pol.HighWater) / 2
+	}
+	start := p.Now()
+	d.stats.ThrottleStalls++
+	for d.StagedBytes() >= low && d.failed == nil && !d.closed {
+		if deadline != 0 && p.Now() >= deadline {
+			d.stats.DeadlineExceeded++
+			d.stats.ThrottleTime += p.Now().Sub(start)
+			d.recordThrottle(p, devIdx, lba, count, start, stagedAtEntry, true, deadline)
+			return fmt.Errorf("trail %v write: deadline passed while throttled: %w",
+				d.devIDs[devIdx], blockdev.ErrDeadlineExceeded)
+		}
+		d.wbProgress.Wait(p)
+	}
+	d.stats.ThrottleTime += p.Now().Sub(start)
+	d.recordThrottle(p, devIdx, lba, count, start, stagedAtEntry, false, 0)
+	return nil
+}
+
+// recordThrottle emits the trace/span evidence of one throttle stall.
+func (d *Driver) recordThrottle(p *sim.Proc, devIdx int, lba int64, count int,
+	start sim.Time, staged int64, expired bool, deadline sim.Time) {
+	dur := p.Now().Sub(start)
+	if d.tr != nil {
+		d.tr.Emit(trace.Event{At: int64(start), Dur: int64(dur), Kind: trace.KThrottle,
+			Track: "trail", LBA: lba, Count: count, A: staged})
+	}
+	if d.rec != nil && expired {
+		// The write never reached the log queue: its whole story is the
+		// throttle stall ending at its deadline.
+		rq := d.rec.Start(span.KWrite, "trail", d.spanNames[devIdx], lba, count, int64(start))
+		rq.ChildAB(span.PThrottle, int64(start), int64(p.Now()), staged, 0)
+		rq.Point(span.PDeadline, int64(p.Now()), int64(p.Now().Sub(deadline)), 0)
+		rq.Finish(int64(p.Now()), true)
+	}
 }
 
 // write queues the request for the log disks and blocks until it is durable
-// (or until the driver gives up: every log disk dead, or the request's retry
-// budget exhausted — the error then wraps the blockdev sentinel).
-func (d *Driver) write(p *sim.Proc, devIdx int, lba int64, count int, data []byte) error {
+// (or until the driver gives up: every log disk dead, the request's retry
+// budget exhausted, its deadline passed, or — with QoS enabled — the log
+// queue full; the error then wraps the blockdev sentinel).
+func (d *Driver) write(p *sim.Proc, devIdx int, lba int64, count int, data []byte, opts blockdev.Options) error {
 	if d.closed {
 		return ErrClosed
 	}
@@ -525,6 +643,25 @@ func (d *Driver) write(p *sim.Proc, devIdx int, lba int64, count int, data []byt
 		return fmt.Errorf("trail %v write: %w", d.devIDs[devIdx], d.failed)
 	}
 	d.stats.Writes++
+	pol := d.cfg.QoS
+	deadline := pol.Deadline(p.Now(), opts.Deadline)
+	if deadline != 0 && p.Now() >= deadline {
+		d.stats.DeadlineExceeded++
+		return fmt.Errorf("trail %v write: %w", d.devIDs[devIdx], blockdev.ErrDeadlineExceeded)
+	}
+	// Admission: shed when the log queue is at the class's bound.
+	if bound := pol.ClassBound(opts.Class); bound > 0 && len(d.logQ) >= bound {
+		return d.shedWrite(p, devIdx, lba, count)
+	}
+	// Degradation: under log pressure, throttle foreground writes against
+	// write-back progress instead of growing staging without bound.
+	if err := d.throttleWrite(p, devIdx, lba, count, deadline); err != nil {
+		return err
+	}
+	if d.failed != nil {
+		d.stats.FailedWrites++
+		return fmt.Errorf("trail %v write: %w", d.devIDs[devIdx], d.failed)
+	}
 	// Split requests larger than one record's capacity.
 	var waits []*pendingWrite
 	for off := 0; off < count; off += d.cfg.MaxBatchSectors {
@@ -535,12 +672,14 @@ func (d *Driver) write(p *sim.Proc, devIdx int, lba int64, count int, data []byt
 		chunk := make([]byte, n*geom.SectorSize)
 		copy(chunk, data[off*geom.SectorSize:(off+n)*geom.SectorSize])
 		pw := &pendingWrite{
-			devIdx: devIdx,
-			lba:    lba + int64(off),
-			count:  n,
-			data:   chunk,
-			done:   sim.NewEvent(d.env),
-			queued: p.Now(),
+			devIdx:   devIdx,
+			lba:      lba + int64(off),
+			count:    n,
+			data:     chunk,
+			done:     sim.NewEvent(d.env),
+			queued:   p.Now(),
+			deadline: deadline,
+			class:    opts.Class,
 		}
 		if d.rec != nil {
 			pw.qdepth = len(d.logQ)
@@ -549,6 +688,9 @@ func (d *Driver) write(p *sim.Proc, devIdx int, lba int64, count int, data []byt
 		}
 		d.logQ = append(d.logQ, pw)
 		waits = append(waits, pw)
+	}
+	if n := len(d.logQ); n > d.stats.MaxLogQueue {
+		d.stats.MaxLogQueue = n
 	}
 	d.logQCond.Signal()
 	var firstErr error
@@ -563,11 +705,13 @@ func (d *Driver) write(p *sim.Proc, devIdx int, lba int64, count int, data []byt
 
 // read serves a read from the staging buffer when possible, otherwise from
 // the data disk (with any staged sectors overlaid, since staged data is
-// newer than the platter).
-func (d *Driver) read(p *sim.Proc, devIdx int, lba int64, count int) ([]byte, error) {
+// newer than the platter). The request's deadline and class ride into the
+// data-disk scheduler; a retry never fires past the deadline.
+func (d *Driver) read(p *sim.Proc, devIdx int, lba int64, count int, opts blockdev.Options) ([]byte, error) {
 	if d.closed {
 		return nil, ErrClosed
 	}
+	opts.Deadline = d.cfg.QoS.Deadline(p.Now(), opts.Deadline)
 	if e, ok := d.staging[bufKey{dev: devIdx, lba: lba, count: count}]; ok {
 		d.stats.ReadsFromStaging++
 		d.recordStagingHit(p, devIdx, lba, count)
@@ -592,8 +736,9 @@ func (d *Driver) read(p *sim.Proc, devIdx int, lba int64, count int) ([]byte, er
 		cursor = int64(p.Now())
 		rq = d.rec.Start(span.KRead, "trail", d.spanNames[devIdx], lba, count, cursor)
 	}
+	retryBudget := d.cfg.QoS.RetryBudget(opts.Class, maxReadRetries+1) - 1
 	for attempt := 0; ; attempt++ {
-		req := &sched.Request{LBA: lba, Count: count}
+		req := &sched.Request{LBA: lba, Count: count, Deadline: opts.Deadline, Class: opts.Class}
 		d.dataQueues[devIdx].Do(p, req)
 		res := req.Result
 		rq.ChildAB(span.PQueue, cursor, int64(res.Start),
@@ -604,9 +749,23 @@ func (d *Driver) read(p *sim.Proc, devIdx int, lba int64, count int) ([]byte, er
 			d.overlayStaged(devIdx, lba, count, req.Data)
 			return req.Data, nil
 		}
+		if blockdev.IsExpired(req.Err) {
+			d.stats.DeadlineExceeded++
+			rq.Point(span.PDeadline, int64(res.End), int64(p.Now().Sub(opts.Deadline)), 0)
+			rq.Finish(int64(res.End), true)
+			return nil, fmt.Errorf("trail %v read: %w", d.devIDs[devIdx], req.Err)
+		}
 		rq.ChildAB(span.PRetry, int64(res.Start), int64(res.End), int64(attempt+1), 0)
 		cursor = int64(res.End)
-		if blockdev.IsTransient(req.Err) && attempt < maxReadRetries {
+		if blockdev.IsTransient(req.Err) && attempt < retryBudget {
+			if opts.Expired(p.Now()) {
+				// The retry would fire past the deadline: abandon instead.
+				d.stats.DeadlineExceeded++
+				rq.Point(span.PDeadline, int64(res.End), int64(p.Now().Sub(opts.Deadline)), 0)
+				rq.Finish(int64(res.End), true)
+				return nil, fmt.Errorf("trail %v read: retry past deadline: %w",
+					d.devIDs[devIdx], blockdev.ErrDeadlineExceeded)
+			}
 			d.stats.ReadRetries++
 			if d.tr != nil {
 				d.tr.Emit(trace.Event{At: int64(p.Now()), Kind: trace.KRetry,
@@ -843,9 +1002,9 @@ func (d *Driver) logWriterLoop(p *sim.Proc, ld *logDisk) {
 		if run-1 < capacity {
 			capacity = run - 1
 		}
-		batch := d.takeBatch(capacity)
+		batch := d.takeBatch(p.Now(), capacity)
 		if len(batch) == 0 {
-			continue // another writer took the queue first
+			continue // another writer took the queue first (or it expired)
 		}
 		if !d.writeRecord(p, ld, target, batch) && ld.dead {
 			ld.writerBusy = false
@@ -897,21 +1056,50 @@ func (d *Driver) chooseTarget(now sim.Time, ld *logDisk, need int) (target, run 
 	return 0, 0, false
 }
 
+// expireWrite completes a pending write with ErrDeadlineExceeded: its
+// deadline passed while it waited for a log writer, so logging it now would
+// only occupy the disk for a client that has given up.
+func (d *Driver) expireWrite(now sim.Time, pw *pendingWrite) {
+	d.stats.DeadlineExceeded++
+	pw.err = fmt.Errorf("queued past deadline: %w", blockdev.ErrDeadlineExceeded)
+	if d.tr != nil {
+		d.tr.Emit(trace.Event{At: int64(now), Kind: trace.KDeadline, Track: "trail",
+			LBA: pw.lba, Count: pw.count, B: 1})
+	}
+	if pw.rq != nil {
+		pw.rq.ChildAB(span.PQueue, pw.cursor, int64(now), int64(pw.qdepth), 0)
+		pw.rq.Point(span.PDeadline, int64(now), int64(now.Sub(pw.deadline)), 0)
+		pw.rq.Finish(int64(now), true)
+	}
+	pw.done.Trigger()
+}
+
+// expired reports whether pw's deadline has passed at now.
+func (pw *pendingWrite) expired(now sim.Time) bool {
+	return pw.deadline != 0 && now >= pw.deadline
+}
+
 // takeBatch removes up to capacity data sectors' worth of requests from the
-// log queue (at least the first request, if any remain).
-func (d *Driver) takeBatch(capacity int) []*pendingWrite {
-	if len(d.logQ) == 0 {
-		return nil
-	}
-	if d.cfg.DisableBatching {
-		b := []*pendingWrite{d.logQ[0]}
-		d.logQ = d.logQ[1:]
-		return b
-	}
+// log queue (at least the first request, if any remain). Requests whose
+// deadline passed while queued are completed with ErrDeadlineExceeded and
+// never reach the log disk.
+func (d *Driver) takeBatch(now sim.Time, capacity int) []*pendingWrite {
 	var batch []*pendingWrite
 	total := 0
 	for len(d.logQ) > 0 {
 		nxt := d.logQ[0]
+		if nxt.expired(now) {
+			d.logQ = d.logQ[1:]
+			d.expireWrite(now, nxt)
+			continue
+		}
+		if d.cfg.DisableBatching {
+			if len(batch) == 0 {
+				batch = append(batch, nxt)
+				d.logQ = d.logQ[1:]
+			}
+			break
+		}
 		if len(batch) > 0 && total+nxt.count > capacity {
 			break
 		}
@@ -1077,14 +1265,21 @@ func (d *Driver) handleLogWriteFault(ld *logDisk, target int, batch []*pendingWr
 }
 
 // requeueOrFail puts the batch back at the head of the log queue for another
-// attempt, failing any request whose retry budget is spent (or everything,
-// once the driver itself has failed). Requeued requests keep their order so
+// attempt, failing any request whose per-class retry budget is spent, whose
+// deadline has passed (a retry never fires past its deadline), or everything,
+// once the driver itself has failed. Requeued requests keep their order so
 // overwrite ordering is preserved.
 func (d *Driver) requeueOrFail(batch []*pendingWrite, cause error) {
+	now := d.env.Now()
 	var retry []*pendingWrite
 	for _, pw := range batch {
 		pw.retries++
-		if d.failed != nil || pw.retries > maxWriteRetries {
+		if pw.expired(now) && d.failed == nil {
+			d.expireWrite(now, pw)
+			continue
+		}
+		budget := d.cfg.QoS.RetryBudget(pw.class, maxWriteRetries)
+		if d.failed != nil || pw.retries > budget {
 			pw.err = fmt.Errorf("after %d attempts: %w", pw.retries, cause)
 			d.stats.FailedWrites++
 			d.finishFailed(pw)

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"tracklog/internal/blockdev"
+	"tracklog/internal/crashcheck"
 	"tracklog/internal/disk"
 	"tracklog/internal/fault"
 	"tracklog/internal/sched"
@@ -134,7 +135,7 @@ func runFaultyCrashTrial(t *testing.T, seed uint64) {
 		gap := time.Duration(rng.IntRange(0, 3000)) * time.Microsecond
 		env.Go(fmt.Sprintf("slot-%d", s), func(p *sim.Proc) {
 			for v := 1; ; v++ {
-				if err := dev.Write(p, int64(s*64), sectorsPer, versionPayload(s, v, sectorsPer)); err != nil {
+				if err := dev.Write(p, int64(s*64), sectorsPer, crashcheck.Payload(s, v, sectorsPer)); err != nil {
 					return // exhausted retries or driver failed; not acknowledged
 				}
 				acked[s] = v
@@ -163,7 +164,7 @@ func runFaultyCrashTrial(t *testing.T, seed uint64) {
 
 	for s := 0; s < slots; s++ {
 		got := data.MediaRead(int64(s*64), sectorsPer)
-		v, consistent := parseVersion(got, s, sectorsPer)
+		v, consistent := crashcheck.ParseVersion(got, s, sectorsPer)
 		if !consistent {
 			t.Errorf("seed %d slot %d: torn/mixed payload", seed, s)
 			continue
@@ -262,7 +263,7 @@ func runDoubleCrashTrial(t *testing.T, seed uint64) {
 		gap := time.Duration(rng.IntRange(0, 2000)) * time.Microsecond
 		env.Go(fmt.Sprintf("slot-%d", s), func(p *sim.Proc) {
 			for v := 1; ; v++ {
-				if err := dev.Write(p, int64(s*64), sectorsPer, versionPayload(s, v, sectorsPer)); err != nil {
+				if err := dev.Write(p, int64(s*64), sectorsPer, crashcheck.Payload(s, v, sectorsPer)); err != nil {
 					return
 				}
 				acked[s] = v
@@ -306,7 +307,7 @@ func runDoubleCrashTrial(t *testing.T, seed uint64) {
 	// last acknowledged one, and the system restarts.
 	for s := 0; s < slots; s++ {
 		got := data.MediaRead(int64(s*64), sectorsPer)
-		v, consistent := parseVersion(got, s, sectorsPer)
+		v, consistent := crashcheck.ParseVersion(got, s, sectorsPer)
 		if !consistent {
 			t.Errorf("seed %d slot %d: torn/mixed payload after double crash", seed, s)
 			continue

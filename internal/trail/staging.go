@@ -208,6 +208,9 @@ func (d *Driver) writebackLoop(p *sim.Proc, devIdx int) {
 			if cur := d.staging[f.key]; cur == e && e.version == f.ver && len(e.refs) == 0 && !e.inQueue {
 				delete(d.staging, f.key)
 			}
+			// Write-back progress: wake foreground writes throttled on the
+			// staging high-water mark so they can re-check the level.
+			d.wbProgress.Broadcast()
 		}
 	}
 }
