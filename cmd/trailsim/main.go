@@ -107,10 +107,7 @@ func main() {
 
 	obs := newObserver(*traceOut, *traceCap, *sampleOut, *sampleInterval)
 	if *spans || *spanOut != "" || *explainTail > 0 {
-		obs.rec = span.NewRecorder(*spanCap)
-		obs.spans = *spans
-		obs.spanOut = *spanOut
-		obs.tailFrac = *explainTail
+		obs.setSpans(*spanCap, *spans, *spanOut, *explainTail)
 	}
 	pol := qosPolicy(*qosOn, *deadline, *maxDepth)
 	var err error
@@ -162,6 +159,16 @@ func newObserver(traceOut string, traceCap int, sampleOut string, interval time.
 		o.tr = trace.New(traceCap)
 	}
 	return o
+}
+
+// setSpans installs the span recorder before the run starts. Installing
+// through a setter (rather than poking the fields) is the nilguard
+// invariant: instrumentation handles never change once the clock moves.
+func (o *observer) setSpans(capacity int, print bool, out string, tailFrac float64) {
+	o.rec = span.NewRecorder(capacity)
+	o.spans = print
+	o.spanOut = out
+	o.tailFrac = tailFrac
 }
 
 // attach wires the observer into a freshly built rig: the kernel and every

@@ -1,0 +1,169 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// Determinism enforces the byte-determinism story: same seed, same bytes,
+// in traces, span dumps, bench summaries and reports.
+//
+// Two rules:
+//
+//  1. math/rand (v1 and v2) and crypto/rand are banned everywhere except
+//     internal/sim/rand.go, the one deterministic generator the stack is
+//     allowed to draw from. math/rand's global source can be reseeded from
+//     the wall clock by any import in the binary; crypto/rand is
+//     nondeterministic by design.
+//
+//  2. Ranging over a map directly into an output sink is flagged. Map
+//     iteration order is randomized per run, so any fmt print, JSON/CSV
+//     writer, buffered writer or Chrome trace emission inside a map-range
+//     body produces run-dependent bytes. Collect the keys, sort them, and
+//     range the sorted slice instead. The check is syntactic (sinks
+//     reached through a helper call are not traced), which keeps it
+//     predictable; the exporters it guards are all written in the direct
+//     style.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "forbid math/rand outside internal/sim and map-range iteration into output sinks",
+	Run:  runDeterminism,
+}
+
+// randExemptPath/randExemptFile name the one file allowed to mention the
+// banned rand packages: the simulator's own deterministic source.
+const (
+	randExemptPath = "tracklog/internal/sim"
+	randExemptFile = "rand.go"
+)
+
+var bannedRandImports = map[string]string{
+	"math/rand":    "math/rand's global source is reseedable from the wall clock",
+	"math/rand/v2": "math/rand/v2 is seeded from runtime entropy",
+	"crypto/rand":  "crypto/rand is nondeterministic by design",
+}
+
+func runDeterminism(pass *Pass) error {
+	if !strings.HasPrefix(pass.Path, "tracklog") {
+		return nil
+	}
+	for _, file := range pass.Files {
+		checkRandImports(pass, file)
+		checkMapRangeSinks(pass, file)
+	}
+	return nil
+}
+
+func checkRandImports(pass *Pass, file *ast.File) {
+	for _, imp := range file.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		why, banned := bannedRandImports[path]
+		if !banned {
+			continue
+		}
+		pos := pass.Fset.Position(imp.Pos())
+		if pass.Path == randExemptPath && filepath.Base(pos.Filename) == randExemptFile {
+			continue
+		}
+		pass.Reportf(imp.Pos(),
+			"import of %s breaks reproducibility (%s); draw randomness from sim.Rand (internal/sim/rand.go)",
+			path, why)
+	}
+}
+
+// checkMapRangeSinks flags `for ... := range m { ... sink ... }` where m is
+// map-typed and the loop body (including nested statements) contains a call
+// to an output sink.
+func checkMapRangeSinks(pass *Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.Info.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		ast.Inspect(rng.Body, func(inner ast.Node) bool {
+			call, ok := inner.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if sink := sinkName(pass, call); sink != "" {
+				pass.Reportf(rng.For,
+					"map iteration order is randomized, but this range body reaches output sink %s; collect the keys, sort them, and range the sorted slice",
+					sink)
+				return false
+			}
+			return true
+		})
+		return true
+	})
+}
+
+// sinkName reports the human-readable name of the output sink a call
+// targets, or "" if the call is not a sink.
+func sinkName(pass *Pass, call *ast.CallExpr) string {
+	fn := pass.calleeFunc(call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	pkg, name := fn.Pkg().Path(), fn.Name()
+
+	// Package-level print/write functions.
+	switch pkg {
+	case "fmt":
+		switch name {
+		case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+			return "fmt." + name
+		}
+	case "io":
+		if name == "WriteString" {
+			return "io.WriteString"
+		}
+	case "os":
+		if name == "WriteFile" {
+			return "os.WriteFile"
+		}
+	}
+
+	// Methods on writer types.
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return ""
+	}
+	rt := recv.Type()
+	if ptr, ok := rt.(*types.Pointer); ok {
+		rt = ptr.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	recvName := fmt.Sprintf("%s.%s", named.Obj().Pkg().Path(), named.Obj().Name())
+	switch recvName {
+	case "encoding/json.Encoder":
+		if name == "Encode" {
+			return "json.Encoder.Encode"
+		}
+	case "encoding/csv.Writer":
+		if name == "Write" || name == "WriteAll" {
+			return "csv.Writer." + name
+		}
+	case "bufio.Writer", "bytes.Buffer", "strings.Builder":
+		if strings.HasPrefix(name, "Write") {
+			return fmt.Sprintf("%s.%s", named.Obj().Name(), name)
+		}
+	}
+	// Any method on the deterministic trace writer is an emission.
+	if NormalizePath(named.Obj().Pkg().Path()) == "tracklog/internal/trace" && named.Obj().Name() == "ChromeWriter" {
+		return "trace.ChromeWriter." + name
+	}
+	return ""
+}

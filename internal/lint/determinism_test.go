@@ -1,0 +1,13 @@
+package lint
+
+import "testing"
+
+func TestDeterminismMapRangeFixture(t *testing.T) {
+	RunFixture(t, "testdata/src/tracklog/internal/sched", Determinism)
+}
+
+func TestDeterminismRandExemption(t *testing.T) {
+	// rand.go inside (normalized) tracklog/internal/sim is exempt; every
+	// other file in the same package is not.
+	RunFixture(t, "testdata/src/tracklog/internal/sim", Determinism)
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestErrTaxonomyFixture(t *testing.T) {
+	RunFixture(t, "testdata/src/tracklog/internal/wal", ErrTaxonomy)
+}

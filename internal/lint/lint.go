@@ -1,0 +1,302 @@
+// Package lint is a custom static-analysis suite enforcing the invariants
+// the whole reproduction rests on and that no off-the-shelf linter checks:
+//
+//   - virtualtime: all timing in simulated-path packages flows through the
+//     simulator's virtual clock. A single stray time.Now silently breaks
+//     the microsecond-exact rotational model the head-position prediction
+//     depends on.
+//   - determinism: all output is byte-deterministic. math/rand is banned
+//     outside internal/sim's own deterministic generator, and iterating a
+//     Go map directly into an output sink (trace/span exporters, JSON/CSV
+//     writers, fmt printing) is flagged because map order is randomized.
+//   - errtaxonomy: device errors flow through the sentinel taxonomy with
+//     errors.Is and %w wrapping, so retry/QoS budgets keep firing after a
+//     layer wraps an error.
+//   - nilguard: the nil-is-disabled contract of trace.Tracer, span.Recorder
+//     and span.Req — every exported method nil-receiver safe, handles only
+//     installed through Set*/New* accessors, never dereferenced.
+//
+// The suite mirrors the golang.org/x/tools/go/analysis API shape (Analyzer,
+// Pass, Diagnostic, analysistest-style fixtures) but is built purely on the
+// standard library: packages are enumerated with `go list -deps -export`
+// and dependencies are imported from compiler export data, so the checker
+// needs nothing beyond the Go toolchain itself.
+//
+// False positives are suppressed in source with
+//
+//	//lint:allow <analyzer> <reason>
+//
+// on the flagged line or the line above. The reason is mandatory; a
+// suppression without one is itself reported (analyzer "lintdirective").
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and //lint:allow
+	// directives. It must be a lowercase identifier.
+	Name string
+
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+
+	// Run inspects one package and reports findings via pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// All returns the full trailcheck suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{VirtualTime, Determinism, ErrTaxonomy, NilGuard}
+}
+
+// ByName resolves a comma-separated analyzer list ("virtualtime,nilguard").
+func ByName(names string) ([]*Analyzer, error) {
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		found := false
+		for _, a := range All() {
+			if a.Name == n {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown analyzer %q", n)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty analyzer list")
+	}
+	return out, nil
+}
+
+// A Pass provides one analyzer with one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	// Path is the package's invariant path: the import path with any
+	// ".../testdata/src/" prefix stripped, so analysistest fixtures are
+	// matched against the same per-package configuration (simulated-path
+	// sets, allowlists, home packages) as the real tree.
+	Path string
+
+	diags *[]Diagnostic
+}
+
+// Reportf records one diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// NormalizePath strips any ".../testdata/src/" prefix from an import path,
+// mapping fixture packages onto the invariant configuration of the package
+// they mimic. Real packages never contain the marker, so this is the
+// identity for the production tree.
+func NormalizePath(importPath string) string {
+	const marker = "/testdata/src/"
+	if i := strings.LastIndex(importPath, marker); i >= 0 {
+		return importPath[i+len(marker):]
+	}
+	return importPath
+}
+
+// Run applies each analyzer to each package, filters //lint:allow
+// suppressions, and returns the surviving diagnostics in deterministic
+// order (file, line, column, analyzer, message).
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				Path:     NormalizePath(pkg.ImportPath),
+				diags:    &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.ImportPath, err)
+			}
+		}
+		diags = applySuppressions(pkg, diags)
+		all = append(all, diags...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return all, nil
+}
+
+// allowDirective is a parsed //lint:allow comment.
+type allowDirective struct {
+	analyzer string
+	reason   string
+	pos      token.Position
+	own      bool // comment shares its line with code (suppresses that line)
+}
+
+const allowPrefix = "//lint:allow"
+
+// applySuppressions drops diagnostics covered by a well-formed
+// //lint:allow directive on the same line or the line directly above, and
+// reports malformed directives (missing analyzer or reason) as
+// "lintdirective" findings so escapes stay auditable.
+func applySuppressions(pkg *Package, diags []Diagnostic) []Diagnostic {
+	// (file, line) -> analyzers suppressed on that line.
+	type key struct {
+		file string
+		line int
+	}
+	suppressed := make(map[key]map[string]bool)
+	var out []Diagnostic
+
+	add := func(file string, line int, analyzer string) {
+		k := key{file, line}
+		if suppressed[k] == nil {
+			suppressed[k] = make(map[string]bool)
+		}
+		suppressed[k][analyzer] = true
+	}
+
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				pos := pkg.Fset.Position(c.Pos())
+				if rest != "" && !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "\t") {
+					continue // e.g. //lint:allowed — not our directive
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					out = append(out, Diagnostic{
+						Pos:      pos,
+						Analyzer: "lintdirective",
+						Message:  "malformed //lint:allow: want \"//lint:allow <analyzer> <reason>\" (reason is mandatory)",
+					})
+					continue
+				}
+				analyzer := fields[0]
+				known := false
+				for _, a := range All() {
+					if a.Name == analyzer {
+						known = true
+						break
+					}
+				}
+				if !known {
+					out = append(out, Diagnostic{
+						Pos:      pos,
+						Analyzer: "lintdirective",
+						Message:  fmt.Sprintf("//lint:allow names unknown analyzer %q", analyzer),
+					})
+					continue
+				}
+				// Suppress the directive's own line and the line below, so
+				// both trailing-comment and comment-above styles work.
+				add(pos.Filename, pos.Line, analyzer)
+				add(pos.Filename, pos.Line+1, analyzer)
+			}
+		}
+	}
+
+	for _, d := range diags {
+		if s := suppressed[key{d.Pos.Filename, d.Pos.Line}]; s != nil && s[d.Analyzer] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// enclosingFuncName returns the name of the innermost function declaration
+// containing pos ("" when pos is not inside any FuncDecl, e.g. a package
+// var initializer). Methods report their bare name, not the receiver.
+func enclosingFuncName(file *ast.File, pos token.Pos) string {
+	name := ""
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		if fd.Pos() <= pos && pos <= fd.End() {
+			name = fd.Name.Name
+		}
+	}
+	return name
+}
+
+// pathToFuncObj resolves a call expression to the *types.Func it invokes,
+// or nil for non-function calls (conversions, builtins, indirect calls).
+func (p *Pass) calleeFunc(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isPkgFunc reports whether obj is the function pkgPath.name.
+func isPkgFunc(obj types.Object, pkgPath, name string) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == pkgPath && fn.Name() == name
+}

@@ -1,0 +1,15 @@
+package lint
+
+import "testing"
+
+func TestNilGuardHomeTracer(t *testing.T) {
+	RunFixture(t, "testdata/src/tracklog/internal/trace", NilGuard)
+}
+
+func TestNilGuardHomeSpan(t *testing.T) {
+	RunFixture(t, "testdata/src/tracklog/internal/span", NilGuard)
+}
+
+func TestNilGuardConsumer(t *testing.T) {
+	RunFixture(t, "testdata/src/tracklog/internal/stddisk", NilGuard)
+}

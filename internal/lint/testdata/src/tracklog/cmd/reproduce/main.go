@@ -1,0 +1,19 @@
+// Virtualtime allowlist fixture: the normalized path tracklog/cmd/reproduce
+// has an allowlist entry sanctioning wall-clock use inside main (progress
+// reporting on a human terminal) — and only there.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	start := time.Now() // allowlisted: (tracklog/cmd/reproduce, main)
+	report()
+	fmt.Println(time.Since(start)) // allowlisted too
+}
+
+func report() {
+	_ = time.Now() // want `time\.Now reads the wall clock`
+}

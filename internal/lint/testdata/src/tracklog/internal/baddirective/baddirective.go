@@ -1,0 +1,19 @@
+// Package baddirective exercises malformed //lint:allow directives, which
+// are themselves reported (analyzer "lintdirective") so silent escapes
+// cannot accumulate. Checked programmatically in lint_test.go rather than
+// with // want comments, since the finding lands on the directive line.
+package baddirective
+
+import "fmt"
+
+func noReason(m map[string]int) {
+	//lint:allow determinism
+	for k := range m {
+		fmt.Println(k)
+	}
+}
+
+func unknownAnalyzer() {
+	//lint:allow speling reason present but analyzer name is wrong
+	fmt.Println("x")
+}

@@ -1,0 +1,7 @@
+package sim
+
+import (
+	crand "crypto/rand" // want `import of crypto/rand breaks reproducibility`
+)
+
+func entropy(b []byte) { crand.Read(b) }

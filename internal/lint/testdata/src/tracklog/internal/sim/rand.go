@@ -1,0 +1,9 @@
+// Determinism fixture: rand.go in (normalized) tracklog/internal/sim is
+// the one file allowed to touch math/rand — it is where the deterministic
+// generator lives in the real tree.
+package sim
+
+import "math/rand"
+
+// Seeded returns a deterministic source the simulator owns.
+func Seeded(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

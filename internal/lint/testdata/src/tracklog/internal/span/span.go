@@ -1,0 +1,45 @@
+// Package span is the second nilguard home-package fixture: Recorder and
+// Req both carry the nil-is-disabled contract.
+package span
+
+// Recorder mimics the real span recorder.
+type Recorder struct {
+	reqs   []*Req
+	nextID int64
+}
+
+// Req mimics the per-request handle; a nil Req is a legal no-op handle.
+type Req struct {
+	rec *Recorder
+	id  int64
+}
+
+// NewRecorder is a plain constructor; the contract concerns methods.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Start follows the contract: guard, then state.
+func (r *Recorder) Start() *Req {
+	if r == nil {
+		return nil
+	}
+	r.nextID++
+	return &Req{rec: r, id: r.nextID}
+}
+
+// Len forgets the guard.
+func (r *Recorder) Len() int { // want `exported method \(\*Recorder\)\.Len touches receiver state without a nil guard`
+	return len(r.reqs)
+}
+
+// Done is a guarded Req method.
+func (q *Req) Done() {
+	if q == nil {
+		return
+	}
+	q.rec.reqs = append(q.rec.reqs, q)
+}
+
+// ID forgets the guard on the request handle.
+func (q *Req) ID() int64 { // want `exported method \(\*Req\)\.ID touches receiver state without a nil guard`
+	return q.id
+}

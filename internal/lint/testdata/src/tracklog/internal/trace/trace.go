@@ -1,0 +1,77 @@
+// Package trace is a nilguard home-package fixture: its normalized path is
+// tracklog/internal/trace, so the type named Tracer carries the
+// nil-is-disabled contract and every exported pointer-receiver method must
+// be nil-receiver safe.
+package trace
+
+// Event is a minimal stand-in for the real event payload.
+type Event struct{ At int64 }
+
+// Tracer mimics the real ring-buffered tracer.
+type Tracer struct {
+	buf []Event
+	n   int
+}
+
+// Enabled never touches state: safe without a guard.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Emit opens with the canonical guard.
+func (t *Tracer) Emit(ev Event) {
+	if t == nil {
+		return
+	}
+	t.buf = append(t.buf, ev)
+	t.n++
+}
+
+// Events uses the short-circuit form of the guard; the field read on the
+// right of || only runs when t is non-nil.
+func (t *Tracer) Events() []Event {
+	if t == nil || len(t.buf) == 0 {
+		return nil
+	}
+	out := make([]Event, len(t.buf))
+	copy(out, t.buf)
+	return out
+}
+
+// Flush only calls other (checked) methods: safe without its own guard.
+func (t *Tracer) Flush() []Event {
+	evs := t.Events()
+	t.Emit(Event{})
+	return evs
+}
+
+// Len reads a field with no guard in sight: the contract violation.
+func (t *Tracer) Len() int { // want `exported method \(\*Tracer\)\.Len touches receiver state without a nil guard`
+	return t.n
+}
+
+// LateGuard guards too late: the field read precedes the check.
+func (t *Tracer) LateGuard() int { // want `exported method \(\*Tracer\)\.LateGuard touches receiver state`
+	n := t.n
+	if t == nil {
+		return 0
+	}
+	return n
+}
+
+// Guarded uses an inline `t != nil` region instead of an early return;
+// state is only touched inside it.
+func (t *Tracer) Guarded() int {
+	n := -1
+	if t != nil {
+		n = t.n
+	}
+	return n
+}
+
+// reset is unexported: only reachable from code that already holds a
+// non-nil tracer, so it is outside the contract.
+func (t *Tracer) reset() { t.n = 0 }
+
+// Suppressed documents a deliberate exception.
+//
+//lint:allow nilguard fixture demonstrates the escape hatch
+func (t *Tracer) Suppressed() int { return t.n }

@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+)
+
+// Minimal implementation of the `go vet -vettool` protocol (the same wire
+// format as golang.org/x/tools/go/analysis/unitchecker, reimplemented here
+// because the tree deliberately has no external dependencies).
+//
+// The go command drives a vettool in two ways:
+//
+//   - `tool -V=full` must print a stable version fingerprint used as the
+//     cache key (handled in cmd/trailcheck).
+//   - `tool <unit>.cfg` analyzes one compilation unit described by a JSON
+//     config, prints diagnostics as JSON to stdout, and exits nonzero when
+//     there are findings.
+
+// vetConfig mirrors the unit-checker config the go command writes.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vetDiag is one diagnostic in the go vet JSON output format.
+type vetDiag struct {
+	Posn    string `json:"posn"`
+	Message string `json:"message"`
+}
+
+// RunUnit executes the suite on one vet compilation unit. It returns the
+// number of diagnostics printed; on any setup error it returns err. The
+// caller decides the exit code.
+func RunUnit(cfgPath string, analyzers []*Analyzer, stdout io.Writer) (int, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return 0, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 0, fmt.Errorf("parsing vet config %s: %v", cfgPath, err)
+	}
+
+	// The go command expects a facts file even though this suite exports
+	// no facts; write it first so even an analysis crash leaves the
+	// protocol intact.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			return 0, err
+		}
+	}
+	if cfg.VetxOnly {
+		return 0, nil
+	}
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	// The invariants govern the simulated stack, not its tests (tests
+	// legitimately use wall-clock timeouts and unsorted iteration in
+	// assertions), so _test.go files are dropped — mirroring Load, which
+	// never parses them. Units that are all test files (external _test
+	// packages) are vacuously clean.
+	goFiles := cfg.GoFiles[:0:0]
+	for _, gf := range cfg.GoFiles {
+		if !strings.HasSuffix(gf, "_test.go") {
+			goFiles = append(goFiles, gf)
+		}
+	}
+
+	pkg := &Package{ImportPath: cfg.ImportPath, Dir: cfg.Dir, Fset: fset}
+	for _, gf := range goFiles {
+		f, err := parser.ParseFile(fset, gf, nil, parser.ParseComments)
+		if err != nil {
+			return 0, err
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, _ := conf.Check(cfg.ImportPath, fset, pkg.Files, info)
+	pkg.Types = tpkg
+	pkg.Info = info
+	if len(pkg.TypeErrors) > 0 && !cfg.SucceedOnTypecheckFailure {
+		return 0, fmt.Errorf("%s: %v", cfg.ImportPath, pkg.TypeErrors[0])
+	}
+
+	diags, err := Run([]*Package{pkg}, analyzers)
+	if err != nil {
+		return 0, err
+	}
+
+	// Output format: { "<import path>": { "<analyzer>": [ {posn, message} ] } }
+	// — printed only when there are findings; go vet treats any stdout as
+	// output worth surfacing, so clean units must stay silent.
+	if len(diags) == 0 {
+		return 0, nil
+	}
+	byAnalyzer := make(map[string][]vetDiag)
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], vetDiag{
+			Posn:    d.Pos.String(),
+			Message: d.Message,
+		})
+	}
+	out := map[string]map[string][]vetDiag{cfg.ImportPath: byAnalyzer}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "\t")
+	if err := enc.Encode(out); err != nil {
+		return 0, err
+	}
+	return len(diags), nil
+}

@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// VirtualTime forbids wall-clock time in simulated-path packages.
+//
+// The rotational model is microsecond-exact: the Trail driver predicts the
+// sector under the head from virtual timestamps, and one stray time.Now in
+// a simulated path silently decouples the prediction from the simulator's
+// ground truth (and makes two same-seed runs diverge). All timing must flow
+// through sim.Env.Now / sim.Proc timers. time.Duration values and
+// constants (time.Millisecond, ...) remain legal — only the wall-clock
+// entry points are banned, whether called or passed as function values.
+//
+// Call sites in cmd/ that legitimately need the wall clock (progress
+// reporting on a human terminal) are listed in wallClockAllowed; anything
+// else needs a //lint:allow virtualtime <reason> escape.
+var VirtualTime = &Analyzer{
+	Name: "virtualtime",
+	Doc:  "forbid wall-clock time (time.Now, time.Sleep, ...) in simulated-path packages",
+	Run:  runVirtualTime,
+}
+
+// wallClockBanned is the set of package time entry points that read or wait
+// on the wall clock.
+var wallClockBanned = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// simulatedPathPrefixes marks the packages whose time must be virtual. The
+// whole library tree qualifies: every internal package either runs under
+// the simulator or produces deterministic artifacts from virtual
+// timestamps. Binaries under cmd/ are also covered so a new tool cannot
+// quietly mix clocks; the per-site allowlist below carves out the
+// wall-clock-legitimate exceptions.
+var simulatedPathPrefixes = []string{
+	"tracklog",
+}
+
+// wallClockAllowed maps a package's invariant path to the function names
+// whose wall-clock use is sanctioned. Keep this list short and justified:
+// these sites report human-perceived progress and never feed a simulated
+// timestamp.
+var wallClockAllowed = map[string]map[string]bool{
+	// reproduce prints "Generated in Ns wall time" after the full report.
+	"tracklog/cmd/reproduce": {"main": true},
+}
+
+func runVirtualTime(pass *Pass) error {
+	inScope := false
+	for _, prefix := range simulatedPathPrefixes {
+		if pass.Path == prefix || strings.HasPrefix(pass.Path, prefix+"/") {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil
+	}
+	allowed := wallClockAllowed[pass.Path]
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.Info.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+				return true
+			}
+			if !wallClockBanned[obj.Name()] {
+				return true
+			}
+			if allowed != nil && allowed[enclosingFuncName(file, sel.Pos())] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"time.%s reads the wall clock in a simulated-path package; route timing through the virtual clock (sim.Env.Now / sim.Proc timers)",
+				obj.Name())
+			return true
+		})
+	}
+	return nil
+}
