@@ -23,8 +23,11 @@ import (
 
 	"tracklog/internal/benchfmt"
 	"tracklog/internal/blockdev"
+	"tracklog/internal/crashexplore"
+	"tracklog/internal/crashexplore/stacks"
 	"tracklog/internal/disk"
 	"tracklog/internal/experiments"
+	"tracklog/internal/metrics"
 	"tracklog/internal/sched"
 	"tracklog/internal/sim"
 	"tracklog/internal/stddisk"
@@ -178,7 +181,53 @@ func writeBenchJSON(path string, writes int, seed uint64) error {
 			},
 		})
 	}
+	xp, err := explorePoint(seed)
+	if err != nil {
+		return err
+	}
+	bf.Experiments = append(bf.Experiments, xp)
 	return bf.WriteFile(path)
+}
+
+// explorePoint measures crash-point exploration over a fixed trail window.
+// All values are virtual-time (the latency columns are the per-branch cut
+// instants; branches_per_virtual_sec is explored branches over summed
+// replayed virtual time), so the entry is byte-deterministic and the gate
+// catches probe-schedule regressions exactly.
+func explorePoint(seed uint64) (benchfmt.Entry, error) {
+	st, err := stacks.TrailStack("", 0)
+	if err != nil {
+		return benchfmt.Entry{}, err
+	}
+	rep, err := crashexplore.New(st, crashexplore.Options{Seed: seed, Window: 60}).Run()
+	if err != nil {
+		return benchfmt.Entry{}, err
+	}
+	if rep.Failed() {
+		return benchfmt.Entry{}, fmt.Errorf("crash-explore bench: durability contract violated (first failing event %d)", rep.FirstFailing)
+	}
+	cuts := metrics.NewSummary()
+	var replayed time.Duration
+	for _, b := range rep.Branches {
+		at := time.Duration(b.Event.At)
+		cuts.Add(at)
+		replayed += at
+	}
+	e := benchfmt.Entry{
+		Name:   "crash-explore/trail/window=60",
+		Count:  int64(rep.Explored),
+		MeanUS: usFloat(cuts.Mean()),
+		P50US:  usFloat(cuts.Quantile(0.50)),
+		P99US:  usFloat(cuts.Quantile(0.99)),
+		Counters: map[string]int64{
+			"candidates":   int64(rep.Candidates),
+			"total_probes": rep.TotalProbes,
+		},
+	}
+	if replayed > 0 {
+		e.Counters["branches_per_virtual_sec"] = int64(float64(rep.Explored)/replayed.Seconds() + 0.5)
+	}
+	return e, nil
 }
 
 // benchPoint runs one sync-write configuration on a fresh rig.

@@ -60,6 +60,8 @@ import (
 	"time"
 
 	"tracklog/internal/blockdev"
+	"tracklog/internal/crashexplore"
+	"tracklog/internal/crashexplore/stacks"
 	"tracklog/internal/disk"
 	"tracklog/internal/experiments"
 	"tracklog/internal/fault"
@@ -67,6 +69,7 @@ import (
 	"tracklog/internal/qos"
 	"tracklog/internal/sched"
 	"tracklog/internal/sim"
+	"tracklog/internal/snapshot"
 	"tracklog/internal/span"
 	"tracklog/internal/stddisk"
 	"tracklog/internal/trace"
@@ -87,6 +90,8 @@ func main() {
 	faults := flag.String("faults", "", "fault scenario to inject on every drive (key=value terms, e.g. latent=3,timeout=1; see internal/fault)")
 	faultSeed := flag.Uint64("fault-seed", 0, "seed for fault sampling (default: -seed)")
 	faultTol := flag.Bool("faulttol", false, "run the standard/trail/raid5 fault-tolerance comparison under -faults")
+	exploreCrashes := flag.Int64("explore-crashes", 0, "exhaustively explore the first N interesting events (trail stack; composes with -faults/-fault-seed/-seed)")
+	verifySnapshot := flag.Bool("verify-snapshot", false, "after the run, checkpoint the world, restore it, and verify byte-identity (status on stderr)")
 	qosOn := flag.Bool("qos", false, "enable the default overload policy (admission bounds, retry budgets, throttling)")
 	deadline := flag.Duration("deadline", 0, "per-request deadline: issue time + D (0 disables)")
 	maxDepth := flag.Int("max-depth", 0, "bound the disk scheduler queue depth (0 = unbounded)")
@@ -112,6 +117,8 @@ func main() {
 	pol := qosPolicy(*qosOn, *deadline, *maxDepth)
 	var err error
 	switch {
+	case *exploreCrashes > 0:
+		err = runExplore(*system, *exploreCrashes, *seed, *faults, *faultSeed)
 	case *faultTol:
 		err = runFaultTol(*faults, *writes, *faultSeed)
 	case *replayFile != "":
@@ -121,7 +128,7 @@ func main() {
 	case *offeredLoad > 0:
 		err = runOpenLoop(*system, *size, *writes, *offeredLoad, *seed, *faults, *faultSeed, pol, *verify, obs)
 	default:
-		err = run(*system, *mode, *size, *procs, *writes, *seed, *faults, *faultSeed, pol, obs)
+		err = run(*system, *mode, *size, *procs, *writes, *seed, *faults, *faultSeed, pol, *verifySnapshot, obs)
 	}
 	if err == nil {
 		err = obs.finish()
@@ -336,13 +343,14 @@ func qosPolicy(on bool, deadline time.Duration, maxDepth int) *qos.Policy {
 
 // buildDevice assembles the chosen storage system on a fresh environment,
 // optionally attaching the fault scenario to every drive and the overload
-// policy to the driver.
-func buildDevice(env *sim.Env, system, scenario string, faultSeed uint64, pol *qos.Policy) (blockdev.Device, *trail.Driver, *stddisk.Device, []*fault.Plan, error) {
+// policy to the driver. Every stateful component is also registered in a
+// checkpointable World (for -verify-snapshot).
+func buildDevice(env *sim.Env, system, scenario string, faultSeed uint64, pol *qos.Policy) (blockdev.Device, *trail.Driver, *stddisk.Device, []*fault.Plan, *crashexplore.World, error) {
 	var fcfg fault.Config
 	if scenario != "" {
 		var err error
 		if fcfg, err = fault.ParseScenario(scenario); err != nil {
-			return nil, nil, nil, nil, err
+			return nil, nil, nil, nil, nil, err
 		}
 	}
 	frng := sim.NewRand(faultSeed)
@@ -352,11 +360,17 @@ func buildDevice(env *sim.Env, system, scenario string, faultSeed uint64, pol *q
 			plans = append(plans, fault.Attach(d, frng, fcfg))
 		}
 	}
+	w := crashexplore.NewWorld(env)
+	registerPlans := func() {
+		for i, pl := range plans {
+			w.Register(fmt.Sprintf("fault.%d", i), pl)
+		}
+	}
 	switch system {
 	case "trail":
 		log := disk.New(env, disk.ST41601N())
 		if err := trail.Format(log); err != nil {
-			return nil, nil, nil, nil, err
+			return nil, nil, nil, nil, nil, err
 		}
 		data := disk.New(env, disk.WDCaviar())
 		attach(log)
@@ -364,9 +378,13 @@ func buildDevice(env *sim.Env, system, scenario string, faultSeed uint64, pol *q
 		cfg := trail.Config{QoS: pol}
 		drv, err := trail.NewDriver(env, log, []*disk.Disk{data}, cfg)
 		if err != nil {
-			return nil, nil, nil, nil, err
+			return nil, nil, nil, nil, nil, err
 		}
-		return drv.Dev(0), drv, nil, plans, nil
+		w.Register("disk.log", log)
+		w.Register("disk.data0", data)
+		w.Register("trail", drv)
+		registerPlans()
+		return drv.Dev(0), drv, nil, plans, w, nil
 	case "std":
 		d := disk.New(env, disk.WDCaviar())
 		attach(d)
@@ -374,10 +392,57 @@ func buildDevice(env *sim.Env, system, scenario string, faultSeed uint64, pol *q
 		if pol != nil {
 			sd.SetQoS(pol)
 		}
-		return sd, nil, sd, plans, nil
+		w.Register("disk.0", d)
+		w.Register("stddisk", sd)
+		registerPlans()
+		return sd, nil, sd, plans, w, nil
 	default:
-		return nil, nil, nil, nil, fmt.Errorf("unknown system %q", system)
+		return nil, nil, nil, nil, nil, fmt.Errorf("unknown system %q", system)
 	}
+}
+
+// runExplore sweeps the crash-point explorer over the first window
+// interesting events of the trail stack: power cut at each, recovery, and
+// an acknowledged-write audit per branch (see cmd/crashexplore for the
+// multi-stack tool).
+func runExplore(system string, window int64, seed uint64, scenario string, faultSeed uint64) error {
+	if system != "trail" {
+		return fmt.Errorf("-explore-crashes drives the trail stack (got -system %q); use cmd/crashexplore for raid5/wal", system)
+	}
+	st, err := stacks.TrailStack(scenario, faultSeed)
+	if err != nil {
+		return err
+	}
+	rep, err := crashexplore.New(st, crashexplore.Options{Seed: seed, Window: window}).Run()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("crash exploration: %d branches over events [0,%d) of %d probes\n",
+		rep.Explored, window, rep.TotalProbes)
+	if rep.Failed() {
+		return fmt.Errorf("crash exploration: %d lost, %d torn, %d error branches (first failing event %d)",
+			rep.LostBranches, rep.TornBranches, rep.ErrorBranches, rep.FirstFailing)
+	}
+	fmt.Printf("crash exploration: all %d branches uphold the durability contract\n", rep.Explored)
+	return nil
+}
+
+// verifyWorldSnapshot checkpoints the (now quiescent) world, restores the
+// checkpoint in place, and re-snapshots: the restored world must be
+// byte-identical. Status goes to stderr so stdout stays byte-comparable
+// across runs with and without the flag.
+func verifyWorldSnapshot(w *crashexplore.World) error {
+	s1 := w.Snapshot()
+	if err := w.Restore(s1); err != nil {
+		return fmt.Errorf("verify-snapshot: restore: %w", err)
+	}
+	s2 := w.Snapshot()
+	if !bytes.Equal(s1, s2) {
+		return fmt.Errorf("verify-snapshot: world differs after restoring its own checkpoint")
+	}
+	fmt.Fprintf(os.Stderr, "verify-snapshot: %d-byte world checkpoint, digest %016x, restored world byte-identical\n",
+		len(s1), snapshot.Digest(s1))
+	return nil
 }
 
 // runReplayFile replays a trace file against the chosen system.
@@ -393,7 +458,7 @@ func runReplayFile(system, path string, pol *qos.Policy, obs *observer) error {
 	}
 	env := sim.NewEnv()
 	defer env.Close()
-	dev, drv, std, _, err := buildDevice(env, system, "", 0, pol)
+	dev, drv, std, _, _, err := buildDevice(env, system, "", 0, pol)
 	if err != nil {
 		return err
 	}
@@ -410,7 +475,7 @@ func runReplayFile(system, path string, pol *qos.Policy, obs *observer) error {
 func runPattern(system, pattern string, ops, size int, writeRatio float64, seed uint64, pol *qos.Policy, obs *observer) error {
 	env := sim.NewEnv()
 	defer env.Close()
-	dev, drv, std, _, err := buildDevice(env, system, "", 0, pol)
+	dev, drv, std, _, _, err := buildDevice(env, system, "", 0, pol)
 	if err != nil {
 		return err
 	}
@@ -442,10 +507,10 @@ func printReplay(system, source string, res *workload.ReplayResult) {
 	fmt.Printf("elapsed %v, %d ops issued late\n", res.Elapsed, res.Lagged)
 }
 
-func run(system, mode string, size, procs, writes int, seed uint64, scenario string, faultSeed uint64, pol *qos.Policy, obs *observer) error {
+func run(system, mode string, size, procs, writes int, seed uint64, scenario string, faultSeed uint64, pol *qos.Policy, verifySnap bool, obs *observer) error {
 	env := sim.NewEnv()
 	defer env.Close()
-	dev, drv, std, plans, err := buildDevice(env, system, scenario, faultSeed, pol)
+	dev, drv, std, plans, world, err := buildDevice(env, system, scenario, faultSeed, pol)
 	if err != nil {
 		return err
 	}
@@ -488,6 +553,9 @@ func run(system, mode string, size, procs, writes int, seed uint64, scenario str
 		}
 		fmt.Printf("faults (%s):\n%s\n", scenario, agg)
 	}
+	if verifySnap {
+		return verifyWorldSnapshot(world)
+	}
 	return nil
 }
 
@@ -506,7 +574,7 @@ type ackedWrite struct {
 func runOpenLoop(system string, size, writes int, rate float64, seed uint64, scenario string, faultSeed uint64, pol *qos.Policy, verify bool, obs *observer) error {
 	env := sim.NewEnv()
 	defer env.Close()
-	dev, drv, std, plans, err := buildDevice(env, system, scenario, faultSeed, pol)
+	dev, drv, std, plans, _, err := buildDevice(env, system, scenario, faultSeed, pol)
 	if err != nil {
 		return err
 	}

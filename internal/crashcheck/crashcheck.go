@@ -11,25 +11,28 @@
 // driver then exercises any stack that promises acknowledged-write
 // durability — the Trail driver, a RAID array, or a transactional store over
 // a write-ahead log.
+//
+// The trial engine itself lives in internal/crashexplore, which generalizes
+// the one seed-dependent cut to an exhaustive sweep over every interesting
+// event; this package is the testing.TB-flavoured wrapper running the
+// explorer's single-branch (time-cut) window.
 package crashcheck
 
 import (
-	"fmt"
 	"testing"
-	"time"
 
-	"tracklog/internal/geom"
+	"tracklog/internal/crashexplore"
 	"tracklog/internal/sim"
 )
 
 // WriteFunc makes version v of slot s durable, returning nil once the stack
 // has acknowledged the write. An error stops that slot's writer (expected at
 // the power cut).
-type WriteFunc func(p *sim.Proc, slot, version int) error
+type WriteFunc = crashexplore.WriteFunc
 
 // ReadFunc reports a slot's recovered state. consistent=false means a torn
 // or mixed payload; version 0 with consistent=true means "never written".
-type ReadFunc func(p *sim.Proc, slot int) (version int, consistent bool)
+type ReadFunc = crashexplore.ReadFunc
 
 // Stack describes one storage stack under crash test.
 type Stack struct {
@@ -51,101 +54,49 @@ type Stack struct {
 	Post func(t testing.TB, env *sim.Env)
 }
 
-// Run executes one seeded crash trial against the stack.
+// Run executes one seeded crash trial against the stack: the explorer's
+// legacy single-branch window (one seed-dependent time cut, one recovery,
+// one audit).
 func Run(t testing.TB, seed uint64, st Stack) {
-	env := sim.NewEnv()
-	write := st.Build(t, env)
-
-	acked := make([]int, st.Slots) // last acknowledged version per slot
-	rng := sim.NewRand(seed + 1000)
-	for s := 0; s < st.Slots; s++ {
-		s := s
-		gap := time.Duration(rng.IntRange(0, 4000)) * time.Microsecond
-		env.Go(fmt.Sprintf("slot-%d", s), func(p *sim.Proc) {
-			for v := 1; ; v++ {
-				if err := write(p, s, v); err != nil {
-					return
-				}
-				acked[s] = v
-				p.Sleep(gap)
-			}
-		})
+	xst := crashexplore.Stack{
+		Slots: st.Slots,
+		Build: func(env *sim.Env) (crashexplore.WriteFunc, error) {
+			return st.Build(t, env), nil
+		},
+		Recover: func(env *sim.Env) (crashexplore.ReadFunc, error) {
+			return st.Recover(t, env), nil
+		},
 	}
-
-	// Cut power at a seed-dependent instant, mid-flight.
-	cut := time.Duration(5+rng.IntRange(0, 120)) * time.Millisecond
-	env.RunUntil(sim.Time(cut))
-	env.Close()
-
-	// Reboot, recover, audit.
-	env2 := sim.NewEnv()
-	defer env2.Close()
-	read := st.Recover(t, env2)
-	env2.Go("audit", func(p *sim.Proc) {
-		for s := 0; s < st.Slots; s++ {
-			v, consistent := read(p, s)
-			if !consistent {
-				t.Errorf("seed %d slot %d: torn/mixed payload after recovery", seed, s)
-				continue
-			}
-			if v < acked[s] {
-				t.Errorf("seed %d slot %d: acknowledged version %d lost (found %d)", seed, s, acked[s], v)
-			}
-		}
-	})
-	env2.Run()
 	if st.Post != nil {
-		st.Post(t, env2)
+		xst.Post = func(env *sim.Env) error {
+			st.Post(t, env)
+			return nil
+		}
+	}
+	res, err := crashexplore.RunSingle(xst, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range res.Audits {
+		if a.Torn {
+			t.Errorf("seed %d slot %d: torn/mixed payload after recovery", seed, a.Slot)
+			continue
+		}
+		if a.Found < a.Acked {
+			t.Errorf("seed %d slot %d: acknowledged version %d lost (found %d)", seed, a.Slot, a.Acked, a.Found)
+		}
 	}
 }
 
 // Payload builds a block payload whose every sector encodes (slot, version),
 // so mixing sectors from two versions is detectable on read-back.
 func Payload(slot, version, sectors int) []byte {
-	buf := make([]byte, sectors*geom.SectorSize)
-	for sec := 0; sec < sectors; sec++ {
-		copy(buf[sec*geom.SectorSize:], fmt.Sprintf("slot=%d version=%d sector=%d", slot, version, sec))
-		// Fill the rest deterministically from (slot, version).
-		for i := 64; i < geom.SectorSize; i++ {
-			buf[sec*geom.SectorSize+i] = byte(slot*31 + version*7 + sec)
-		}
-	}
-	return buf
+	return crashexplore.Payload(slot, version, sectors)
 }
 
 // ParseVersion extracts the version from a slot's on-media payload and
 // checks all sectors agree (no torn mixes). Version 0 with consistent=true
 // means "never written".
 func ParseVersion(buf []byte, slot, sectors int) (int, bool) {
-	allZero := true
-	for _, b := range buf {
-		if b != 0 {
-			allZero = false
-			break
-		}
-	}
-	if allZero {
-		return 0, true
-	}
-	version := -1
-	for sec := 0; sec < sectors; sec++ {
-		var gotSlot, gotVer, gotSec int
-		n, err := fmt.Sscanf(string(buf[sec*geom.SectorSize:sec*geom.SectorSize+64]),
-			"slot=%d version=%d sector=%d", &gotSlot, &gotVer, &gotSec)
-		if err != nil || n != 3 || gotSlot != slot || gotSec != sec {
-			return 0, false
-		}
-		if version == -1 {
-			version = gotVer
-		} else if gotVer != version {
-			return 0, false // mixed versions across sectors
-		}
-		// Verify the filler too.
-		for i := 64; i < geom.SectorSize; i++ {
-			if buf[sec*geom.SectorSize+i] != byte(slot*31+gotVer*7+sec) {
-				return 0, false
-			}
-		}
-	}
-	return version, true
+	return crashexplore.ParseVersion(buf, slot, sectors)
 }

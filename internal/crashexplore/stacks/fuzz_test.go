@@ -1,0 +1,110 @@
+package stacks_test
+
+import (
+	"errors"
+	"testing"
+
+	"tracklog/internal/blockdev"
+	"tracklog/internal/crashexplore"
+	"tracklog/internal/disk"
+	"tracklog/internal/fault"
+	"tracklog/internal/raid"
+	"tracklog/internal/sched"
+	"tracklog/internal/sim"
+	"tracklog/internal/snapshot"
+	"tracklog/internal/stddisk"
+	"tracklog/internal/trail"
+	"tracklog/internal/txn"
+	"tracklog/internal/wal"
+)
+
+// fuzzTargets assembles one instance of every Snapshotter in the tree on a
+// fresh environment. Kept cheap: no workload, just construction.
+func fuzzTargets(tb testing.TB) (*sim.Env, map[string]snapshot.Snapshotter) {
+	env := sim.NewEnv()
+	log := disk.New(env, worldLogParams())
+	if err := trail.Format(log); err != nil {
+		tb.Fatal(err)
+	}
+	data := disk.New(env, worldDataParams())
+	plan := fault.Attach(data, sim.NewRand(17), fault.Config{LatentReadErrors: 1})
+	drv, err := trail.NewDriver(env, log, []*disk.Disk{data}, trail.Config{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var members []blockdev.Device
+	for i := 0; i < 3; i++ {
+		members = append(members, stddisk.New(env, disk.New(env, worldDataParams()),
+			blockdev.DevID{Major: 9, Minor: uint8(i)}, sched.LOOK))
+	}
+	arr, err := raid.New(members, 8)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	wlog, err := wal.New(env, wal.Config{
+		Dev:     disk.NewInstantDev(disk.New(env, worldDataParams()), blockdev.DevID{Major: 3, Minor: 0}),
+		Sectors: 512,
+		Mode:    wal.SyncEveryCommit,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return env, map[string]snapshot.Snapshotter{
+		"disk":    log,
+		"fault":   plan,
+		"trail":   drv,
+		"stddisk": members[0].(snapshot.Snapshotter),
+		"raid":    arr,
+		"wal":     wlog,
+		"txn":     txn.NewManager(env, wlog),
+		"rand":    sim.NewRand(99),
+		"env":     env,
+	}
+}
+
+// FuzzSnapshotRestore throws arbitrary bytes at every component's Restore.
+// The contract: never panic, and every rejection is a wrapped codec sentinel
+// (ErrCorrupt, ErrMismatch, or ErrNotQuiescent) so callers can triage.
+func FuzzSnapshotRestore(f *testing.F) {
+	// Corpus: the real snapshot of every component, plus a World checkpoint
+	// of a rig that has done real work.
+	env, targets := fuzzTargets(f)
+	for _, s := range targets {
+		f.Add(s.Snapshot())
+	}
+	env.Close()
+	w, _ := buildTrailWorld(f, 12)
+	f.Add(w.Snapshot())
+	f.Add([]byte{})
+	f.Add([]byte("TLSS"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, targets := fuzzTargets(t)
+		defer env.Close()
+		world := crashexplore.NewWorld(env)
+		names := make([]string, 0, len(targets))
+		for name := range targets {
+			names = append(names, name)
+		}
+		for _, name := range names {
+			if name == "env" {
+				continue // the kernel is the World's own section
+			}
+			world.Register(name, targets[name])
+		}
+		check := func(name string, err error) {
+			if err == nil {
+				return
+			}
+			if !errors.Is(err, snapshot.ErrCorrupt) &&
+				!errors.Is(err, snapshot.ErrMismatch) &&
+				!errors.Is(err, snapshot.ErrNotQuiescent) {
+				t.Fatalf("%s: non-sentinel restore error: %v", name, err)
+			}
+		}
+		for name, s := range targets {
+			check(name, s.Restore(data))
+		}
+		check("world", world.Restore(data))
+	})
+}

@@ -1,0 +1,109 @@
+package crashexplore
+
+import (
+	"fmt"
+	"sort"
+
+	"tracklog/internal/sim"
+	"tracklog/internal/snapshot"
+)
+
+// World is a checkpointable simulation rig: the kernel plus every registered
+// component, snapshotted together as one byte-deterministic blob. Snapshot
+// captures a quiescent instant (no component mid-operation); Restore puts
+// every component back and verifies, by byte comparison, that the kernel's
+// replayed state matches the checkpoint — the guarantee behind "a restored
+// world is byte-identical to one that was never snapshotted".
+type World struct {
+	env   *sim.Env
+	names []string // registration order; snapshots encode sorted
+	comps map[string]snapshot.Snapshotter
+}
+
+// worldSnapKind versions the world container format.
+const worldSnapKind = "crashexplore.World"
+
+// NewWorld returns an empty world over env.
+func NewWorld(env *sim.Env) *World {
+	return &World{env: env, comps: make(map[string]snapshot.Snapshotter)}
+}
+
+// Register adds a named component. Names must be unique; they key the
+// component's section in the world snapshot.
+func (w *World) Register(name string, s snapshot.Snapshotter) {
+	if _, dup := w.comps[name]; dup {
+		panic(fmt.Sprintf("crashexplore: component %q registered twice", name))
+	}
+	w.names = append(w.names, name)
+	w.comps[name] = s
+}
+
+// Env returns the world's kernel.
+func (w *World) Env() *sim.Env { return w.env }
+
+// Snapshot encodes the kernel and every component, in sorted name order.
+// Components must be quiescent (each component's Snapshot enforces its own
+// policy, by panic or via its Quiescent accessor).
+func (w *World) Snapshot() []byte {
+	enc := snapshot.NewWriter(worldSnapKind, 1)
+	enc.Bytes32(w.env.Snapshot())
+	names := append([]string(nil), w.names...)
+	sort.Strings(names)
+	enc.U32(uint32(len(names)))
+	for _, name := range names {
+		enc.String(name)
+		enc.Bytes32(w.comps[name].Snapshot())
+	}
+	return enc.Bytes()
+}
+
+// Digest returns a compact fingerprint of the world's current snapshot.
+func (w *World) Digest() uint64 { return snapshot.Digest(w.Snapshot()) }
+
+// Restore puts every registered component back to the checkpoint's state and
+// verifies the kernel against it. The component sets must match by name; the
+// kernel section must byte-match the current kernel (worlds restore onto a
+// rig replayed to the same instant — goroutine stacks cannot be
+// deserialized, so the kernel is reproduced by replay and checked here).
+func (w *World) Restore(data []byte) error {
+	r, err := snapshot.NewReader(data, worldSnapKind, 1)
+	if err != nil {
+		return err
+	}
+	envState := r.Bytes32()
+	n := r.Len()
+	names := make([]string, 0, n)
+	states := make(map[string][]byte, n)
+	for i := 0; i < n; i++ {
+		name := r.StringVal()
+		state := r.Bytes32()
+		if r.Err() != nil {
+			break
+		}
+		names = append(names, name)
+		states[name] = state
+	}
+	if err := r.Close(); err != nil {
+		return err
+	}
+	if len(names) != len(w.comps) {
+		return fmt.Errorf("%w: snapshot has %d components, world has %d",
+			snapshot.ErrMismatch, len(names), len(w.comps))
+	}
+	for _, name := range names {
+		if _, ok := w.comps[name]; !ok {
+			return fmt.Errorf("%w: snapshot component %q not registered", snapshot.ErrMismatch, name)
+		}
+	}
+	// Components first (they adopt state), kernel last (it verifies): a
+	// component failure leaves the kernel untouched either way.
+	for _, name := range names {
+		if err := w.comps[name].Restore(states[name]); err != nil {
+			return fmt.Errorf("component %q: %w", name, err)
+		}
+	}
+	if err := w.env.Restore(envState); err != nil {
+		return fmt.Errorf("kernel: %w", err)
+	}
+	return nil
+}

@@ -528,6 +528,9 @@ func (d *Disk) Access(p *sim.Proc, req *Request) Result {
 				if d.inj != nil {
 					d.inj.SectorWritten(cur)
 				}
+				// One sector is now on the platter: an interesting event for
+				// crash exploration (a cut here tears the transfer).
+				d.env.EmitProbe(p, sim.ProbeMediaWrite, d.params.Name, cur, 1)
 			} else {
 				d.readSector(cur, buf[off:off+geom.SectorSize])
 			}

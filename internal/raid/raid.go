@@ -529,6 +529,7 @@ func (a *Array) WriteOpts(p *sim.Proc, lba int64, count int, data []byte, opts b
 		return err
 	}
 	defer release()
+	ackLBA, ackCount := lba, count
 	rq := a.rec.Start(span.KWrite, "raid", a.recName, lba, count, int64(p.Now()))
 	n := int64(len(a.devs))
 	stripeData := int64(a.chunk) * (n - 1) // logical sectors per stripe
@@ -560,6 +561,9 @@ func (a *Array) WriteOpts(p *sim.Proc, lba int64, count int, data []byte, opts b
 		count -= this
 	}
 	rq.Finish(int64(p.Now()), false)
+	// Data and parity are on the members and the write is about to be
+	// acknowledged to the client: a crash-exploration interesting event.
+	p.Env().EmitProbe(p, sim.ProbeAck, "raid", ackLBA, ackCount)
 	return nil
 }
 

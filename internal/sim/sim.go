@@ -84,6 +84,16 @@ type Env struct {
 	// housekeeping and Run returns.
 	liveQueued int
 
+	// probeSeq numbers interesting events (see probe.go); it advances
+	// whether or not a hook is attached, so probe indices are identical in
+	// hooked and unhooked runs.
+	probeSeq  int64
+	probeHook ProbeHook
+	// pausedProc, when non-nil, is a process parked in place by a probe
+	// hook; RunUntil resumes it before popping the queue, which keeps a
+	// paused-and-resumed run byte-identical to a never-paused one.
+	pausedProc *Proc
+
 	// tracer, when non-nil, observes process scheduling (see SetTracer).
 	// Hooks never touch the clock or the queue, so a traced run is
 	// bit-identical in virtual time to an untraced one.
@@ -220,6 +230,21 @@ func (e *Env) RunUntil(deadline Time) Time {
 	if e.closed {
 		panic("sim: RunUntil on closed Env")
 	}
+	// A process paused at a probe resumes first, ahead of every queued
+	// event: pausing queued nothing, so the pop order from here on matches a
+	// never-paused run exactly.
+	if p := e.pausedProc; p != nil {
+		e.pausedProc = nil
+		e.step(p)
+		if e.kernelPanic != nil {
+			kp := e.kernelPanic
+			e.kernelPanic = nil
+			panic(kp)
+		}
+		if e.pausedProc != nil {
+			return e.now
+		}
+	}
 	for e.queue.Len() > 0 && e.liveQueued > 0 {
 		next := e.queue[0]
 		if next.at > deadline {
@@ -239,6 +264,9 @@ func (e *Env) RunUntil(deadline Time) Time {
 			p := e.kernelPanic
 			e.kernelPanic = nil
 			panic(p)
+		}
+		if e.pausedProc != nil {
+			return e.now
 		}
 	}
 	return e.now
@@ -262,6 +290,7 @@ func (e *Env) Close() {
 		return
 	}
 	e.closed = true
+	e.pausedProc = nil // a probe-paused proc is parked; the loop kills it
 	for _, p := range e.procs {
 		if p.state == procParked || p.state == procReady {
 			p.killed = true

@@ -175,6 +175,14 @@ func (q *Queue[T]) TryPop() (T, bool) {
 // Len returns the number of queued items.
 func (q *Queue[T]) Len() int { return len(q.items) }
 
+// Items returns a copy of the queued items, oldest first, without removing
+// them (used by state snapshots).
+func (q *Queue[T]) Items() []T {
+	out := make([]T, len(q.items))
+	copy(out, q.items)
+	return out
+}
+
 // Drain removes and returns up to max items (all items if max <= 0).
 func (q *Queue[T]) Drain(max int) []T {
 	n := len(q.items)

@@ -1,0 +1,50 @@
+package stddisk
+
+import (
+	"fmt"
+
+	"tracklog/internal/snapshot"
+)
+
+const devSnapKind = "stddisk.Device"
+
+// Snapshot encodes the device's identity and fault-handling counters. The
+// drive behind the device snapshots separately (disk.Disk); this layer owns
+// only the retry bookkeeping.
+func (d *Device) Snapshot() []byte {
+	w := snapshot.NewWriter(devSnapKind, 1)
+	w.U8(d.id.Major)
+	w.U8(d.id.Minor)
+	w.I64(d.size)
+	w.I64(d.stats.Retries)
+	w.I64(d.stats.Failures)
+	return w.Bytes()
+}
+
+// Restore adopts a state produced by Snapshot on a device with the same
+// identity and capacity. The device must be quiescent: no request may be in
+// the scheduler queue.
+func (d *Device) Restore(data []byte) error {
+	r, err := snapshot.NewReader(data, devSnapKind, 1)
+	if err != nil {
+		return err
+	}
+	major := r.U8()
+	minor := r.U8()
+	size := r.I64()
+	var st Stats
+	st.Retries = r.I64()
+	st.Failures = r.I64()
+	if err := r.Close(); err != nil {
+		return err
+	}
+	if major != d.id.Major || minor != d.id.Minor || size != d.size {
+		return fmt.Errorf("%w: snapshot of dev(%d,%d) %d sectors, restoring into %v %d sectors",
+			snapshot.ErrMismatch, major, minor, size, d.id, d.size)
+	}
+	if n := d.queue.Depth(); n > 0 {
+		return fmt.Errorf("%w: stddisk %v has %d queued requests", snapshot.ErrNotQuiescent, d.id, n)
+	}
+	d.stats = st
+	return nil
+}

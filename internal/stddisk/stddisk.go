@@ -207,5 +207,10 @@ func (d *Device) WriteOpts(p *sim.Proc, lba int64, count int, data []byte, opts 
 	_, err := d.do(p, "write", opts, func() *sched.Request {
 		return &sched.Request{Write: true, LBA: lba, Count: count, Data: data}
 	})
+	if err == nil {
+		// The in-place write is durable and about to be acknowledged to the
+		// client: a crash-exploration interesting event.
+		p.Env().EmitProbe(p, sim.ProbeAck, d.id.String(), lba, count)
+	}
 	return err
 }

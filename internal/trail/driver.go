@@ -324,6 +324,10 @@ type Driver struct {
 	// spanNames are the span device names of the data disks.
 	rec       *span.Recorder
 	spanNames []string
+
+	// probeNames are the per-data-disk component names probe events report
+	// under (always populated, unlike the tracer/recorder name lists).
+	probeNames []string
 }
 
 // NewDriver initializes the Trail driver over one formatted log disk, the
@@ -402,6 +406,7 @@ func NewDriverMulti(env *sim.Env, logs []*disk.Disk, data []*disk.Disk, cfg Conf
 		d.dataDisks = append(d.dataDisks, dd)
 		d.dataQueues = append(d.dataQueues, sched.New(env, dd, cfg.DataPolicy))
 		d.devIDs = append(d.devIDs, blockdev.DevID{Major: 8, Minor: uint8(i)})
+		d.probeNames = append(d.probeNames, fmt.Sprintf("trail-data%d", i))
 		q := sim.NewQueue[bufKey](env)
 		d.wbQueues = append(d.wbQueues, q)
 		idx := i
@@ -1219,6 +1224,9 @@ func (d *Driver) writeRecord(p *sim.Proc, ld *logDisk, target int, batch []*pend
 			pw.rq.Finish(int64(res.End), false)
 		}
 		d.stage(pw, rec)
+		// The client write is about to be acknowledged as durable: the
+		// central interesting event for crash exploration.
+		d.env.EmitProbe(p, sim.ProbeAck, d.probeNames[pw.devIdx], pw.lba, pw.count)
 		pw.done.Trigger()
 	}
 	return true

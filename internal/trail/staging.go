@@ -157,6 +157,9 @@ func (d *Driver) writebackLoop(p *sim.Proc, devIdx int) {
 				e.spanIDs = nil
 			}
 			d.dataQueues[devIdx].Submit(f.req)
+			// A write-back flight has left staging for the data disk's
+			// scheduler: a crash-exploration flight boundary.
+			d.env.EmitProbe(p, sim.ProbeWBStart, d.probeNames[devIdx], key.lba, e.count)
 			flights = append(flights, f)
 		}
 		if d.tr != nil && len(flights) > 0 {
@@ -200,6 +203,9 @@ func (d *Driver) writebackLoop(p *sim.Proc, devIdx int) {
 				f.rq.Finish(int64(res.End), false)
 			}
 			d.stats.WriteBacks++
+			// The flight's data is on the data disk; its log records are
+			// about to be credited: the closing flight boundary.
+			d.env.EmitProbe(p, sim.ProbeWBEnd, d.probeNames[devIdx], f.key.lba, f.req.Count)
 			for _, ref := range f.refs {
 				d.commitRef(ref)
 			}

@@ -224,6 +224,9 @@ func (l *Log) Flush(p *sim.Proc) error {
 	l.flushing = false
 	if err == nil {
 		l.flushedTo = flushLSN
+		// The flushed records are durable and commits through flushLSN are
+		// about to be acknowledged: a crash-exploration interesting event.
+		p.Env().EmitProbe(p, sim.ProbeCommit, "wal", flushLSN, int(sectors))
 	}
 	l.flushDone.Broadcast()
 	return err

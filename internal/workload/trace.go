@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 	"time"
 
@@ -47,29 +48,53 @@ func (t *Trace) WriteTo(w io.Writer) (int64, error) {
 	return n, nil
 }
 
-// ParseTrace reads the text format produced by WriteTo.
+// ParseTrace reads the text format produced by WriteTo. It is strict: every
+// non-comment line must be exactly four fields, values must be in range, and
+// issue times must be non-decreasing. Errors carry the offending line number.
 func ParseTrace(r io.Reader) (*Trace, error) {
 	t := &Trace{}
 	sc := bufio.NewScanner(r)
 	line := 0
+	lastAt := int64(-1)
 	for sc.Scan() {
 		line++
 		text := strings.TrimSpace(sc.Text())
 		if text == "" || strings.HasPrefix(text, "#") {
 			continue
 		}
-		var atUS, lba int64
-		var kind string
-		var sectors int
-		if _, err := fmt.Sscanf(text, "%d %s %d %d", &atUS, &kind, &lba, &sectors); err != nil {
-			return nil, fmt.Errorf("workload: trace line %d: %w", line, err)
+		fields := strings.Fields(text)
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("workload: trace line %d: %d fields, want 4 (<at_us> <R|W> <lba> <sectors>)", line, len(fields))
 		}
+		atUS, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: bad issue time %q: %w", line, fields[0], err)
+		}
+		if atUS < 0 {
+			return nil, fmt.Errorf("workload: trace line %d: negative issue time %d", line, atUS)
+		}
+		if atUS < lastAt {
+			return nil, fmt.Errorf("workload: trace line %d: issue time %dus before previous op at %dus", line, atUS, lastAt)
+		}
+		kind := fields[1]
 		if kind != "R" && kind != "W" {
-			return nil, fmt.Errorf("workload: trace line %d: bad op %q", line, kind)
+			return nil, fmt.Errorf("workload: trace line %d: bad op %q, want R or W", line, kind)
 		}
-		if sectors <= 0 || lba < 0 || atUS < 0 {
-			return nil, fmt.Errorf("workload: trace line %d: bad values", line)
+		lba, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: bad LBA %q: %w", line, fields[2], err)
 		}
+		if lba < 0 {
+			return nil, fmt.Errorf("workload: trace line %d: negative LBA %d", line, lba)
+		}
+		sectors, err := strconv.Atoi(fields[3])
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: bad sector count %q: %w", line, fields[3], err)
+		}
+		if sectors <= 0 {
+			return nil, fmt.Errorf("workload: trace line %d: sector count %d, want > 0", line, sectors)
+		}
+		lastAt = atUS
 		t.Ops = append(t.Ops, TraceOp{
 			At:      time.Duration(atUS) * time.Microsecond,
 			Write:   kind == "W",

@@ -78,24 +78,77 @@ func TestTraceSerializeRoundTrip(t *testing.T) {
 }
 
 func TestParseTraceRejectsGarbage(t *testing.T) {
-	cases := []string{
-		"not a trace",
-		"100 X 5 1",
-		"-5 W 5 1",
-		"100 W -1 1",
-		"100 W 5 0",
+	cases := []struct {
+		name  string
+		trace string
+		// wantErr is a substring the error must contain; the line number of
+		// the offending line must appear too.
+		wantErr string
+		line    string
+	}{
+		{"free text", "not a trace", "fields", "line 1"},
+		{"bad op", "100 X 5 1", `bad op "X"`, "line 1"},
+		{"lowercase op", "100 w 5 1", `bad op "w"`, "line 1"},
+		{"negative time", "-5 W 5 1", "negative issue time", "line 1"},
+		{"negative lba", "100 W -1 1", "negative LBA", "line 1"},
+		{"zero sectors", "100 W 5 0", "sector count 0", "line 1"},
+		{"negative sectors", "100 W 5 -3", "sector count -3", "line 1"},
+		{"missing field", "100 W 5", "3 fields", "line 1"},
+		{"trailing garbage", "100 W 5 1 extra", "5 fields", "line 1"},
+		{"non-numeric time", "soon W 5 1", "bad issue time", "line 1"},
+		{"non-numeric lba", "100 W five 1", "bad LBA", "line 1"},
+		{"non-numeric sectors", "100 W 5 one", "bad sector count", "line 1"},
+		{"time goes backwards", "100 W 5 1\n90 R 5 1", "before previous op", "line 2"},
+		{"error after comments", "# header\n\n100 W 5 1\n100 W 5 1 junk", "5 fields", "line 4"},
 	}
 	for _, c := range cases {
-		if _, err := ParseTrace(strings.NewReader(c)); err == nil {
-			t.Errorf("accepted %q", c)
+		_, err := ParseTrace(strings.NewReader(c.trace))
+		if err == nil {
+			t.Errorf("%s: accepted %q", c.name, c.trace)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantErr) || !strings.Contains(err.Error(), c.line) {
+			t.Errorf("%s: error %q, want it to mention %q and %q", c.name, err, c.wantErr, c.line)
 		}
 	}
-	// Comments and blanks are fine.
-	ok := "# comment\n\n100 W 5 1\n"
+	// Comments, blanks, repeated timestamps, and extra spacing are fine.
+	ok := "# comment\n\n100 W 5 1\n100 R  7   2\n"
 	tr, err := ParseTrace(strings.NewReader(ok))
-	if err != nil || len(tr.Ops) != 1 {
+	if err != nil || len(tr.Ops) != 2 {
 		t.Errorf("valid trace rejected: %v", err)
 	}
+}
+
+// FuzzParseTrace checks that any parsed trace survives a serialize/reparse
+// round trip unchanged, and that the parser never panics on arbitrary input.
+func FuzzParseTrace(f *testing.F) {
+	f.Add("100 W 5 1\n200 R 7 2\n")
+	f.Add("# comment\n\n0 W 0 1\n")
+	f.Add("100 W 5 1 extra\n")
+	f.Add("-5 W 5 1\n")
+	f.Add("100 W 5\n90 R 5 1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := ParseTrace(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if _, err := tr.WriteTo(&buf); err != nil {
+			t.Fatalf("serializing parsed trace: %v", err)
+		}
+		back, err := ParseTrace(&buf)
+		if err != nil {
+			t.Fatalf("reparsing serialized trace: %v\n%s", err, buf.Bytes())
+		}
+		if len(back.Ops) != len(tr.Ops) {
+			t.Fatalf("round trip: %d ops != %d", len(back.Ops), len(tr.Ops))
+		}
+		for i := range tr.Ops {
+			if tr.Ops[i] != back.Ops[i] {
+				t.Fatalf("round trip op %d: %+v != %+v", i, tr.Ops[i], back.Ops[i])
+			}
+		}
+	})
 }
 
 func TestReplayAgainstBaseline(t *testing.T) {
