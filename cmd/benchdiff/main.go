@@ -5,11 +5,13 @@
 //
 // Usage:
 //
-//	benchdiff [-mean-tol F] [-p50-tol F] [-p99-tol F] baseline.json current.json
+//	benchdiff [-mean-tol F] [-p50-tol F] [-p99-tol F] [-rate-tol F] baseline.json current.json
 //
 // Tolerances are relative (0.10 = a metric may be up to 10% slower before
 // the gate fails); a negative tolerance disables gating for that metric.
-// Improvements never fail the gate.
+// Rate metrics (entries' "rates" map: events/sec, branches/sec) are
+// higher-is-better, so -rate-tol bounds how far a rate may DROP.
+// Improvements never fail the gate in either direction.
 package main
 
 import (
@@ -31,6 +33,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	meanTol := fs.Float64("mean-tol", 0.10, "relative mean-latency tolerance (negative disables)")
 	p50Tol := fs.Float64("p50-tol", 0.10, "relative p50-latency tolerance (negative disables)")
 	p99Tol := fs.Float64("p99-tol", 0.10, "relative p99-latency tolerance (negative disables)")
+	rateTol := fs.Float64("rate-tol", 0.10, "relative throughput-rate drop tolerance (negative disables)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -50,7 +53,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	deltas, missing := benchfmt.Compare(base, cur, benchfmt.Tolerance{
-		Mean: *meanTol, P50: *p50Tol, P99: *p99Tol,
+		Mean: *meanTol, P50: *p50Tol, P99: *p99Tol, Rate: *rateTol,
 	})
 	regressed := 0
 	for _, d := range deltas {
@@ -58,6 +61,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if d.Regressed {
 			mark = "  REGRESSION"
 			regressed++
+		}
+		if d.HigherIsBetter {
+			// Pct is signed worse-positive; show the raw rate change.
+			chg := -d.Pct
+			if chg == 0 {
+				chg = 0 // normalize negative zero for display
+			}
+			fmt.Fprintf(stdout, "%-36s %-24s %12.0f -> %12.0f  %+6.1f%%%s\n",
+				d.Name, d.Metric, d.Base, d.Cur, chg, mark)
+			continue
 		}
 		fmt.Fprintf(stdout, "%-36s %-4s %10.1fus -> %10.1fus  %+6.1f%%%s\n",
 			d.Name, d.Metric, d.Base, d.Cur, d.Pct, mark)

@@ -94,6 +94,62 @@ func TestMissingExperimentFails(t *testing.T) {
 	}
 }
 
+// writeRateBench writes a summary with a higher-is-better rate entry, as
+// simbench does.
+func writeRateBench(t *testing.T, dir, name string, rate float64) string {
+	t.Helper()
+	f := &benchfmt.File{
+		Writes: 100,
+		Seed:   1,
+		Experiments: []benchfmt.Entry{{
+			Name: "simbench/trail", Count: 100, MeanUS: 2000, P50US: 1900, P99US: 4000,
+			Rates: map[string]float64{"events_per_virtual_sec": rate},
+		}},
+	}
+	path := filepath.Join(dir, name)
+	if err := f.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// A rate DROP beyond -rate-tol must fail the gate; a rise never does.
+func TestRateDropFailsRateRisePasses(t *testing.T) {
+	dir := t.TempDir()
+	base := writeRateBench(t, dir, "base.json", 1000)
+
+	drop := writeRateBench(t, dir, "drop.json", 800) // -20%
+	var out, errb bytes.Buffer
+	if code := run([]string{base, drop}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d on 20%% rate drop, want 1\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") || !strings.Contains(out.String(), "events_per_virtual_sec") {
+		t.Errorf("output does not flag the rate regression:\n%s", out.String())
+	}
+
+	rise := writeRateBench(t, dir, "rise.json", 1300) // +30%
+	out.Reset()
+	if code := run([]string{"-rate-tol", "0.01", base, rise}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d on rate improvement, want 0\n%s", code, out.String())
+	}
+}
+
+func TestRateTolFlag(t *testing.T) {
+	dir := t.TempDir()
+	base := writeRateBench(t, dir, "base.json", 1000)
+	cur := writeRateBench(t, dir, "cur.json", 950) // -5%
+	var out, errb bytes.Buffer
+	if code := run([]string{base, cur}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d with default 10%% rate tolerance on 5%% drop, want 0\n%s", code, out.String())
+	}
+	if code := run([]string{"-rate-tol", "0.02", base, cur}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d with 2%% rate tolerance on 5%% drop, want 1\n%s", code, out.String())
+	}
+	if code := run([]string{"-rate-tol", "-1", base, writeRateBench(t, dir, "gone.json", 1)}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d with rate gating disabled, want 0\n%s", code, out.String())
+	}
+}
+
 func TestBadUsage(t *testing.T) {
 	var out, errb bytes.Buffer
 	if code := run([]string{"only-one.json"}, &out, &errb); code != 2 {

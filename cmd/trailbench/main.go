@@ -19,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"tracklog/internal/benchfmt"
@@ -47,12 +49,39 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	jsonOut := flag.String("json", "BENCH_trail.json", "machine-readable benchmark summary file (empty disables)")
 	summaryOnly := flag.Bool("summary-only", false, "skip the experiment reports; only write the -json summary (CI regression gating)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile (runtime/pprof) covering the whole run")
+	memProfile := flag.String("memprofile", "", "write a heap profile (runtime/pprof) at exit")
 	flag.Parse()
 
 	all := !*summaryOnly && !*fig3 && !*table1 && !*delta && !*anatomy && !*ablate && !*ext
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "trailbench:", err)
 		os.Exit(1)
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fail(err)
+			}
+		}()
 	}
 
 	if all || *fig3 {
@@ -225,7 +254,11 @@ func explorePoint(seed uint64) (benchfmt.Entry, error) {
 		},
 	}
 	if replayed > 0 {
-		e.Counters["branches_per_virtual_sec"] = int64(float64(rep.Explored)/replayed.Seconds() + 0.5)
+		// Higher-is-better: lives in Rates so benchdiff gates a DROP in
+		// exploration throughput, not a rise.
+		e.Rates = map[string]float64{
+			"branches_per_virtual_sec": float64(rep.Explored) / replayed.Seconds(),
+		}
 	}
 	return e, nil
 }

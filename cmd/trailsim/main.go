@@ -72,6 +72,7 @@ import (
 	"tracklog/internal/snapshot"
 	"tracklog/internal/span"
 	"tracklog/internal/stddisk"
+	"tracklog/internal/telemetry"
 	"tracklog/internal/trace"
 	"tracklog/internal/trail"
 	"tracklog/internal/workload"
@@ -101,6 +102,7 @@ func main() {
 	traceCap := flag.Int("trace-cap", trace.DefaultCapacity, "trace ring capacity in events")
 	sampleInterval := flag.Duration("sample-interval", 0, "sample per-device gauges every interval of virtual time (0 disables)")
 	sampleOut := flag.String("sample-out", "samples.csv", "time-series output file for -sample-interval (.json for JSON, .prom for Prometheus)")
+	metricsOut := flag.String("metrics", "", "write the unified telemetry registry at exit (.prom for Prometheus text, .json otherwise); kernel + component series, byte-deterministic")
 	spans := flag.Bool("spans", false, "print the per-request span budget (critical-path latency breakdown)")
 	spanOut := flag.String("span-out", "", "write every request's span tree as deterministic JSON")
 	explainTail := flag.Float64("explain-tail", 0, "explain the slowest FRAC of requests (e.g. 0.01; 0 disables)")
@@ -113,6 +115,9 @@ func main() {
 	obs := newObserver(*traceOut, *traceCap, *sampleOut, *sampleInterval)
 	if *spans || *spanOut != "" || *explainTail > 0 {
 		obs.setSpans(*spanCap, *spans, *spanOut, *explainTail)
+	}
+	if *metricsOut != "" {
+		obs.setMetrics(*metricsOut)
 	}
 	pol := qosPolicy(*qosOn, *deadline, *maxDepth)
 	var err error
@@ -158,6 +163,11 @@ type observer struct {
 	// counters snapshots the driver's counter set at finish time, for the
 	// Prometheus exposition (nil when no driver is attached).
 	counters func() map[string]int64
+
+	// Unified telemetry registry (nil unless -metrics asked for it); the
+	// kernel and components register into it at attach time.
+	metricsOut string
+	reg        *telemetry.Registry
 }
 
 func newObserver(traceOut string, traceCap int, sampleOut string, interval time.Duration) *observer {
@@ -176,6 +186,13 @@ func (o *observer) setSpans(capacity int, print bool, out string, tailFrac float
 	o.spans = print
 	o.spanOut = out
 	o.tailFrac = tailFrac
+}
+
+// setMetrics installs the unified telemetry registry before the run starts
+// (same setter discipline as setSpans).
+func (o *observer) setMetrics(out string) {
+	o.metricsOut = out
+	o.reg = telemetry.NewRegistry()
 }
 
 // attach wires the observer into a freshly built rig: the kernel and every
@@ -201,6 +218,15 @@ func (o *observer) attach(env *sim.Env, drv *trail.Driver, std *stddisk.Device) 
 	}
 	if drv != nil {
 		o.counters = func() map[string]int64 { return drv.Stats().Counters().Snapshot() }
+	}
+	if o.reg != nil {
+		env.SetMetrics(o.reg)
+		if drv != nil {
+			drv.RegisterMetrics(o.reg)
+		}
+		if std != nil {
+			std.RegisterMetrics(o.reg, "disk0")
+		}
 	}
 	if o.interval <= 0 {
 		return
@@ -273,6 +299,16 @@ func (o *observer) finish() error {
 			return err
 		}
 		fmt.Printf("samples: %d rows -> %s\n", o.sampler.Rows(), o.sampleOut)
+	}
+	if o.reg != nil {
+		write := o.reg.WriteJSON
+		if strings.HasSuffix(o.metricsOut, ".prom") {
+			write = o.reg.WriteProm
+		}
+		if err := writeFile(o.metricsOut, write); err != nil {
+			return err
+		}
+		fmt.Printf("metrics: %d series -> %s\n", o.reg.Len(), o.metricsOut)
 	}
 	if o.rec != nil {
 		reqs := o.rec.Requests()

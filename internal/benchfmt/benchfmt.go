@@ -14,14 +14,21 @@ import (
 )
 
 // Entry is one benchmark configuration's latency distribution plus an
-// optional driver counter snapshot.
+// optional driver counter snapshot and optional throughput rates.
 type Entry struct {
-	Name     string           `json:"name"`
-	Count    int64            `json:"count"`
-	MeanUS   float64          `json:"mean_us"`
-	P50US    float64          `json:"p50_us"`
-	P99US    float64          `json:"p99_us"`
-	Counters map[string]int64 `json:"counters,omitempty"`
+	Name   string  `json:"name"`
+	Count  int64   `json:"count"`
+	MeanUS float64 `json:"mean_us"`
+	P50US  float64 `json:"p50_us"`
+	P99US  float64 `json:"p99_us"`
+	// Rates holds higher-is-better metrics (events_per_virtual_sec,
+	// branches_per_virtual_sec): the gate fails when a current rate falls
+	// BELOW base*(1-tolerance), the inverse of the latency direction.
+	// Values must be virtual-time rates — wall-clock rates are
+	// nondeterministic and belong in the telemetry wall side-channel, not
+	// in a byte-compared summary.
+	Rates    map[string]float64 `json:"rates,omitempty"`
+	Counters map[string]int64   `json:"counters,omitempty"`
 }
 
 // File is the benchmark summary schema (BENCH_trail.json).
@@ -63,29 +70,41 @@ func (f *File) WriteFile(path string) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-// Tolerance sets the per-metric relative regression thresholds: a current
-// value above base*(1+tolerance) is a regression. Metrics with tolerance < 0
+// Tolerance sets the per-metric relative regression thresholds. For the
+// latency metrics (lower is better) a current value above
+// base*(1+tolerance) is a regression; for rates (higher is better) a
+// current value below base*(1-tolerance) is. Metrics with tolerance < 0
 // are not gated.
 type Tolerance struct {
 	Mean, P50, P99 float64
+	// Rate gates every entry in Entry.Rates.
+	Rate float64
 }
 
 // Delta is one metric's change between a baseline and a current run.
 type Delta struct {
 	Name   string  // experiment name
-	Metric string  // "mean", "p50", "p99"
-	Base   float64 // baseline value, µs
-	Cur    float64 // current value, µs
-	// Pct is the relative change in percent (positive = slower).
+	Metric string  // "mean", "p50", "p99", or a rate name
+	Base   float64 // baseline value (µs for latency metrics)
+	Cur    float64 // current value
+	// Pct is the relative change in percent, signed so that positive
+	// always means worse: slower for latency metrics, lower throughput
+	// for rates.
 	Pct float64
+	// HigherIsBetter marks rate metrics, where the regression direction
+	// is inverted.
+	HigherIsBetter bool
 	// Regressed marks deltas beyond the metric's tolerance.
 	Regressed bool
 }
 
 // Compare diffs every baseline experiment against cur. It returns all metric
-// deltas (baseline order, metrics mean/p50/p99 per experiment) and the names
-// of baseline experiments missing from cur — a missing experiment always
-// fails the gate, since silently dropping a benchmark hides regressions.
+// deltas (baseline order; mean/p50/p99 then sorted rate names per
+// experiment) and the names of baseline experiments missing from cur — a
+// missing experiment always fails the gate, since silently dropping a
+// benchmark hides regressions. A rate present in the baseline but absent
+// from the current entry compares as zero, so dropping a rate metric also
+// fails the gate.
 func Compare(base, cur *File, tol Tolerance) (deltas []Delta, missing []string) {
 	for _, be := range base.Experiments {
 		ce := cur.Entry(be.Name)
@@ -106,6 +125,24 @@ func Compare(base, cur *File, tol Tolerance) (deltas []Delta, missing []string) 
 				d.Pct = (m.c - m.b) / m.b * 100
 			}
 			if m.tol >= 0 && m.c > m.b*(1+m.tol) {
+				d.Regressed = true
+			}
+			deltas = append(deltas, d)
+		}
+		rateNames := make([]string, 0, len(be.Rates))
+		for rn := range be.Rates {
+			rateNames = append(rateNames, rn)
+		}
+		sort.Strings(rateNames)
+		for _, rn := range rateNames {
+			b := be.Rates[rn]
+			c := ce.Rates[rn] // zero when absent: a dropped rate gates as a full regression
+			d := Delta{Name: be.Name, Metric: rn, Base: b, Cur: c, HigherIsBetter: true}
+			if b > 0 {
+				// Sign flipped so positive = worse, matching latency deltas.
+				d.Pct = (b - c) / b * 100
+			}
+			if tol.Rate >= 0 && c < b*(1-tol.Rate) {
 				d.Regressed = true
 			}
 			deltas = append(deltas, d)

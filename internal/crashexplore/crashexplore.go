@@ -27,6 +27,7 @@ import (
 
 	"tracklog/internal/geom"
 	"tracklog/internal/sim"
+	"tracklog/internal/telemetry"
 )
 
 // WriteFunc makes version v of slot s durable, returning nil once the stack
@@ -60,6 +61,13 @@ type Stack struct {
 	// recovered stack accepts new writes). Only RunSingle invokes it; the
 	// explorer skips it on every branch.
 	Post func(env *sim.Env) error
+
+	// Observe, if non-nil, registers the telemetry of the most recently
+	// Built rig (driver counters, per-disk utilization) on reg. Callers
+	// that want component metrics (cmd/simbench) invoke it right after
+	// Build; the explorer never does. Registering on a nil registry must
+	// be a no-op, matching the component RegisterMetrics contract.
+	Observe func(reg *telemetry.Registry)
 }
 
 // launchWorkload starts the harness's slot writers on env: one process per

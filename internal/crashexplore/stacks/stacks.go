@@ -15,6 +15,7 @@ import (
 	"tracklog/internal/sched"
 	"tracklog/internal/sim"
 	"tracklog/internal/stddisk"
+	"tracklog/internal/telemetry"
 	"tracklog/internal/trail"
 	"tracklog/internal/txn"
 	"tracklog/internal/wal"
@@ -71,6 +72,7 @@ func TrailStack(scenario string, faultSeed uint64) (crashexplore.Stack, error) {
 		}
 	}
 	var log, data *disk.Disk
+	var drv *trail.Driver
 	return crashexplore.Stack{
 		Slots: slots,
 		Build: func(env *sim.Env) (crashexplore.WriteFunc, error) {
@@ -82,7 +84,8 @@ func TrailStack(scenario string, faultSeed uint64) (crashexplore.Stack, error) {
 			if scenario != "" {
 				fault.Attach(data, sim.NewRand(faultSeed), fcfg)
 			}
-			drv, err := trail.NewDriver(env, log, []*disk.Disk{data}, trail.Config{})
+			var err error
+			drv, err = trail.NewDriver(env, log, []*disk.Disk{data}, trail.Config{})
 			if err != nil {
 				return nil, err
 			}
@@ -109,6 +112,11 @@ func TrailStack(scenario string, faultSeed uint64) (crashexplore.Stack, error) {
 				got := data.MediaRead(int64(slot*slotSpacing), sectorsPer)
 				return crashexplore.ParseVersion(got, slot, sectorsPer)
 			}, nil
+		},
+		Observe: func(reg *telemetry.Registry) {
+			if drv != nil {
+				drv.RegisterMetrics(reg)
+			}
 		},
 	}, nil
 }
@@ -140,18 +148,24 @@ func RAID5Stack() crashexplore.Stack {
 		slotSpacing = 64
 	)
 	var raw []*disk.Disk
+	var memberDevs []*stddisk.Device
+	var arr *raid.Array
 	return crashexplore.Stack{
 		Slots: slots,
 		Build: func(env *sim.Env) (crashexplore.WriteFunc, error) {
 			raw = nil
+			memberDevs = nil
 			var devs []blockdev.Device
 			for i := 0; i < members; i++ {
 				d := disk.New(env, raidMemberParams())
 				raw = append(raw, d)
 				id := blockdev.DevID{Major: 9, Minor: uint8(i)}
-				devs = append(devs, stddisk.New(env, d, id, sched.LOOK))
+				sd := stddisk.New(env, d, id, sched.LOOK)
+				memberDevs = append(memberDevs, sd)
+				devs = append(devs, sd)
 			}
-			arr, err := raid.New(devs, chunk)
+			var err error
+			arr, err = raid.New(devs, chunk)
 			if err != nil {
 				return nil, err
 			}
@@ -181,6 +195,52 @@ func RAID5Stack() crashexplore.Stack {
 				return crashexplore.ParseVersion(buf, slot, 1)
 			}, nil
 		},
+		Observe: func(reg *telemetry.Registry) {
+			if arr != nil {
+				arr.RegisterMetrics(reg, "raid0")
+			}
+			for i, sd := range memberDevs {
+				sd.RegisterMetrics(reg, fmt.Sprintf("r%d", i))
+			}
+		},
+	}
+}
+
+// StdStack is the baseline rig: one standard disk behind a LOOK scheduler,
+// no logging layer. Slots are single sectors — a plain disk acknowledges a
+// write only after the media transfer completes, but multi-sector writes
+// tear legitimately. It completes the four-way {trail, stddisk, raid5,
+// wal} comparison the explorer and cmd/simbench share.
+func StdStack() crashexplore.Stack {
+	const (
+		slots       = 8
+		slotSpacing = 64
+	)
+	var raw *disk.Disk
+	var dev *stddisk.Device
+	return crashexplore.Stack{
+		Slots: slots,
+		Build: func(env *sim.Env) (crashexplore.WriteFunc, error) {
+			raw = disk.New(env, exploreDataParams("std"))
+			dev = stddisk.New(env, raw, blockdev.DevID{Major: 3, Minor: 0}, sched.LOOK)
+			return func(p *sim.Proc, slot, version int) error {
+				buf := crashexplore.Payload(slot, version, 1)
+				return dev.Write(p, int64(slot*slotSpacing), 1, buf)
+			}, nil
+		},
+		Recover: func(env2 *sim.Env) (crashexplore.ReadFunc, error) {
+			// No recovery pass: the platter is the whole durable state.
+			raw.Reattach(env2)
+			return func(p *sim.Proc, slot int) (int, bool) {
+				got := raw.MediaRead(int64(slot*slotSpacing), 1)
+				return crashexplore.ParseVersion(got, slot, 1)
+			}, nil
+		},
+		Observe: func(reg *telemetry.Registry) {
+			if dev != nil {
+				dev.RegisterMetrics(reg, "disk0")
+			}
+		},
 	}
 }
 
@@ -203,6 +263,9 @@ func WALStack() crashexplore.Stack {
 		logDisk    *disk.Disk
 		phys       []*disk.Disk
 		walSectors int64
+		drv        *trail.Driver
+		walLog     *wal.Log
+		mgr        *txn.Manager
 	)
 	return crashexplore.Stack{
 		Slots: slots,
@@ -238,21 +301,21 @@ func WALStack() crashexplore.Stack {
 				return nil, buildErr
 			}
 
-			drv, err := trail.NewDriver(env, logDisk, phys, trail.Config{})
+			var err error
+			drv, err = trail.NewDriver(env, logDisk, phys, trail.Config{})
 			if err != nil {
 				return nil, err
 			}
 			walSectors = drv.Dev(0).Sectors()
 
-			var mgr *txn.Manager
 			var tree *kvdb.Tree
 			env.Go("open", func(p *sim.Proc) {
-				l, err := wal.New(env, wal.Config{Dev: drv.Dev(0), Sectors: walSectors, Mode: wal.SyncEveryCommit})
+				walLog, err = wal.New(env, wal.Config{Dev: drv.Dev(0), Sectors: walSectors, Mode: wal.SyncEveryCommit})
 				if err != nil {
 					buildErr = err
 					return
 				}
-				mgr = txn.NewManager(env, l)
+				mgr = txn.NewManager(env, walLog)
 				store, err := kvdb.Open(p, drv.Dev(1), cachePages)
 				if err != nil {
 					buildErr = err
@@ -333,15 +396,31 @@ func WALStack() crashexplore.Stack {
 				return gotVer, true
 			}, nil
 		},
+		Observe: func(reg *telemetry.Registry) {
+			if drv != nil {
+				drv.RegisterMetrics(reg)
+			}
+			if walLog != nil {
+				walLog.RegisterMetrics(reg)
+			}
+			if mgr != nil {
+				mgr.RegisterMetrics(reg)
+			}
+		},
 	}
 }
 
-// ByName returns the named stack recipe: "trail", "raid5", or "wal".
-// scenario/faultSeed apply to the trail stack only.
+// ByName returns the named stack recipe: "trail", "stddisk", "raid5", or
+// "wal". scenario/faultSeed apply to the trail stack only.
 func ByName(name, scenario string, faultSeed uint64) (crashexplore.Stack, error) {
 	switch name {
 	case "trail":
 		return TrailStack(scenario, faultSeed)
+	case "stddisk":
+		if scenario != "" {
+			return crashexplore.Stack{}, errors.New("crashexplore: fault scenarios are wired to the trail stack only")
+		}
+		return StdStack(), nil
 	case "raid5":
 		if scenario != "" {
 			return crashexplore.Stack{}, errors.New("crashexplore: fault scenarios are wired to the trail stack only")
@@ -353,6 +432,6 @@ func ByName(name, scenario string, faultSeed uint64) (crashexplore.Stack, error)
 		}
 		return WALStack(), nil
 	default:
-		return crashexplore.Stack{}, fmt.Errorf("crashexplore: unknown stack %q (trail, raid5, wal)", name)
+		return crashexplore.Stack{}, fmt.Errorf("crashexplore: unknown stack %q (trail, stddisk, raid5, wal)", name)
 	}
 }

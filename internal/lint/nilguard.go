@@ -33,8 +33,9 @@ var NilGuard = &Analyzer{
 
 // handleTypes maps home package path -> nil-is-disabled type names.
 var handleTypes = map[string]map[string]bool{
-	"tracklog/internal/trace": {"Tracer": true},
-	"tracklog/internal/span":  {"Recorder": true, "Req": true},
+	"tracklog/internal/trace":     {"Tracer": true},
+	"tracklog/internal/span":      {"Recorder": true, "Req": true},
+	"tracklog/internal/telemetry": {"Registry": true, "Counter": true, "Gauge": true, "Histogram": true},
 }
 
 // installedHandles is the subset of handle types with instance lifetime:
@@ -43,8 +44,12 @@ var handleTypes = map[string]map[string]bool{
 // excluded — it is a request-lifetime handle that layers legitimately stash
 // on in-flight request state.
 var installedHandles = map[string]bool{
-	"trace.Tracer":  true,
-	"span.Recorder": true,
+	"trace.Tracer":        true,
+	"span.Recorder":       true,
+	"telemetry.Registry":  true,
+	"telemetry.Counter":   true,
+	"telemetry.Gauge":     true,
+	"telemetry.Histogram": true,
 }
 
 func runNilGuard(pass *Pass) error {

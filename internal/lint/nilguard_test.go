@@ -13,3 +13,7 @@ func TestNilGuardHomeSpan(t *testing.T) {
 func TestNilGuardConsumer(t *testing.T) {
 	RunFixture(t, "testdata/src/tracklog/internal/stddisk", NilGuard)
 }
+
+func TestNilGuardHomeTelemetry(t *testing.T) {
+	RunFixture(t, "testdata/src/tracklog/internal/telemetry", NilGuard)
+}

@@ -1,0 +1,114 @@
+// Package telemetry is a nilguard home-package fixture: its normalized
+// path is tracklog/internal/telemetry, so Registry, Counter, Gauge and
+// Histogram carry the nil-is-disabled contract — exported pointer-receiver
+// methods must be nil-receiver safe, and (being installed handles) their
+// fields may only be stored from Set*/New* functions.
+package telemetry
+
+// Registry mimics the real metric registry.
+type Registry struct {
+	n int
+}
+
+// Counter mimics the real counter handle.
+type Counter struct {
+	v int64
+}
+
+// Gauge exists so the consumer half has a second handle type to store.
+type Gauge struct {
+	v float64
+}
+
+// Histogram completes the handle set.
+type Histogram struct {
+	count int64
+}
+
+// NewRegistry is the constructor; handles are born here.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Counter registers a counter: canonical guard, then state.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.n++
+	return &Counter{}
+}
+
+// Len reads a field with no guard: the contract violation.
+func (r *Registry) Len() int { // want `exported method \(\*Registry\)\.Len touches receiver state without a nil guard`
+	return r.n
+}
+
+// Inc opens with the canonical guard.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v++
+}
+
+// Value uses the short-circuit form.
+func (c *Counter) Value() int64 {
+	if c == nil || c.v < 0 {
+		return 0
+	}
+	return c.v
+}
+
+// Bump only calls other (checked) methods: safe without its own guard.
+func (c *Counter) Bump() int64 {
+	c.Inc()
+	return c.Value()
+}
+
+// Set guards too late: the violation fires on the first field read.
+func (g *Gauge) Set(v float64) { // want `exported method \(\*Gauge\)\.Set touches receiver state`
+	old := g.v
+	if g == nil || old == v {
+		return
+	}
+	g.v = v
+}
+
+// Observe uses an inline guard region instead of an early return.
+func (h *Histogram) Observe(v float64) {
+	if h != nil {
+		h.count++
+	}
+}
+
+// Count reads unguarded state under a suppression directive.
+//
+//lint:allow nilguard fixture demonstrates the escape hatch
+func (h *Histogram) Count() int64 { return h.count }
+
+// component is the consumer half inside the home package: handle fields
+// still only move through Set*/New* functions.
+type component struct {
+	reg *Registry
+	c   *Counter
+}
+
+// SetRegistry is a sanctioned install site.
+func (x *component) SetRegistry(r *Registry) { x.reg = r }
+
+// newComponent is a sanctioned constructor site.
+func newComponent(r *Registry) *component {
+	x := &component{}
+	x.reg = r
+	x.c = r.Counter("ops")
+	return x
+}
+
+// swap reinstalls a handle mid-run: the store-rule violation.
+func (x *component) swap(r *Registry) {
+	x.reg = r // want `handle field reg \(telemetry\.Registry\) is assigned outside a Set\*/New\* accessor`
+}
+
+// read dereferences a handle, defeating nil-is-disabled.
+func read(c *Counter) Counter {
+	return *c // want `dereferencing a telemetry\.Counter handle defeats the nil-is-disabled contract`
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"time"
 
+	"tracklog/internal/telemetry"
 	"tracklog/internal/trace"
 )
 
@@ -99,6 +100,13 @@ type Env struct {
 	// bit-identical in virtual time to an untraced one.
 	tracer *trace.Tracer
 
+	// kstats counts the kernel's own work (see kernelstats.go). Always on:
+	// the counters are deterministic functions of the event schedule.
+	// mDispatchDepth, when non-nil, receives the queue depth at each
+	// dispatch (attached via SetMetrics).
+	kstats         KernelStats
+	mDispatchDepth *telemetry.Histogram
+
 	// kernelPanic holds a panic propagated from a process goroutine; Run
 	// re-panics with it on the caller's goroutine so failures surface in
 	// the test or tool that drives the simulation.
@@ -154,6 +162,10 @@ func (e *Env) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
 	}
 	p.done = NewEvent(e)
 	e.procs[p.id] = p
+	e.kstats.ProcsSpawned++
+	if n := len(e.procs); n > e.kstats.ProcsPeak {
+		e.kstats.ProcsPeak = n
+	}
 	if e.tracer != nil {
 		e.tracer.Emit(trace.Event{At: int64(e.now), Kind: trace.KProcStart, Track: name})
 	}
@@ -181,6 +193,7 @@ func (e *Env) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
 		fn(p)
 		p.state = procDone
 		delete(e.procs, p.id)
+		e.kstats.ProcsFinished++
 		if e.tracer != nil {
 			e.tracer.Emit(trace.Event{At: int64(e.now), Kind: trace.KProcEnd, Track: p.name})
 		}
@@ -198,6 +211,10 @@ func (e *Env) schedule(t Time, p *Proc) {
 	}
 	e.seq++
 	heap.Push(&e.queue, &queued{at: t, seq: e.seq, proc: p})
+	e.kstats.HeapPushes++
+	if n := e.queue.Len(); n > e.kstats.QueuePeak {
+		e.kstats.QueuePeak = n
+	}
 	p.state = procReady
 	if !p.daemon {
 		e.liveQueued++
@@ -210,6 +227,7 @@ func (e *Env) ready(p *Proc) {
 	if p.state != procParked {
 		panic(fmt.Sprintf("sim: ready on process %q in state %d", p.name, p.state))
 	}
+	e.kstats.Wakeups++
 	if e.tracer != nil {
 		e.tracer.Emit(trace.Event{At: int64(e.now), Kind: trace.KSched, Track: p.name})
 	}
@@ -252,6 +270,7 @@ func (e *Env) RunUntil(deadline Time) Time {
 			return e.now
 		}
 		heap.Pop(&e.queue)
+		e.kstats.HeapPops++
 		if !next.proc.daemon {
 			e.liveQueued--
 		}
@@ -259,6 +278,8 @@ func (e *Env) RunUntil(deadline Time) Time {
 			continue // process was killed while queued
 		}
 		e.now = next.at
+		e.kstats.EventsDispatched++
+		e.mDispatchDepth.Observe(float64(e.queue.Len() + 1))
 		e.step(next.proc)
 		if e.kernelPanic != nil {
 			p := e.kernelPanic

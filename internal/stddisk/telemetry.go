@@ -1,0 +1,20 @@
+package stddisk
+
+import "tracklog/internal/telemetry"
+
+// RegisterMetrics registers the device's retry/failure counters on reg,
+// labeled disk=name, along with its scheduler queue and drive. A nil
+// registry registers nothing.
+func (d *Device) RegisterMetrics(reg *telemetry.Registry, name string) {
+	if reg == nil {
+		return
+	}
+	l := telemetry.Label{Key: "disk", Value: name}
+	reg.CounterFunc(telemetry.Prefix+"stddisk_retries_total",
+		"Transient-failure command re-issues.",
+		func() int64 { return d.stats.Retries }, l)
+	reg.CounterFunc(telemetry.Prefix+"stddisk_failures_total",
+		"Commands surfaced to the client as errors.",
+		func() int64 { return d.stats.Failures }, l)
+	d.queue.RegisterMetrics(reg, name)
+}

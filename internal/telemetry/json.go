@@ -1,0 +1,72 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// JSON export: the same sorted series as WriteProm, rendered as a single
+// deterministic object for dashboards and diff tooling. Schema:
+//
+//	{"metrics":[
+//	 {"name":"...","type":"counter","labels":{"k":"v"},"value":N},
+//	 {"name":"...","type":"histogram","buckets":[{"le":1,"count":2},
+//	  {"le":"+Inf","count":5}],"sum":S,"count":C},
+//	 ...
+//	]}
+//
+// The labels object is omitted when empty; keys are pre-sorted by the
+// registry, so encoding never ranges over a map.
+
+// WriteJSON writes every registered series as deterministic JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	ms := r.sorted()
+	if len(ms) == 0 {
+		bw.WriteString("{\"metrics\":[]}\n")
+		return bw.Flush()
+	}
+	bw.WriteString("{\"metrics\":[\n")
+	for i, m := range ms {
+		if i > 0 {
+			bw.WriteString(",\n")
+		}
+		writeMetricJSON(bw, m)
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+func writeMetricJSON(w *bufio.Writer, m *metric) {
+	fmt.Fprintf(w, "{\"name\":%s,\"type\":%q", strconv.Quote(m.name), m.typ.String())
+	if len(m.labels) > 0 {
+		w.WriteString(",\"labels\":{")
+		for i, l := range m.labels {
+			if i > 0 {
+				w.WriteByte(',')
+			}
+			fmt.Fprintf(w, "%s:%s", strconv.Quote(l.Key), strconv.Quote(l.Value))
+		}
+		w.WriteByte('}')
+	}
+	if m.typ == typeHistogram {
+		h := m.hist
+		w.WriteString(",\"buckets\":[")
+		bounds, cum := h.Buckets()
+		for i, b := range bounds {
+			if i > 0 {
+				w.WriteByte(',')
+			}
+			fmt.Fprintf(w, "{\"le\":%s,\"count\":%d}", FormatValue(b), cum[i])
+		}
+		if len(bounds) > 0 {
+			w.WriteByte(',')
+		}
+		fmt.Fprintf(w, "{\"le\":\"+Inf\",\"count\":%d}]", h.Count())
+		fmt.Fprintf(w, ",\"sum\":%s,\"count\":%d}", FormatValue(h.Sum()), h.Count())
+		return
+	}
+	fmt.Fprintf(w, ",\"value\":%s}", FormatValue(m.value()))
+}

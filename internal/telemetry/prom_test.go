@@ -1,0 +1,163 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPromName(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"trail.writes", "trail_writes"},
+		{"already_ok_123", "already_ok_123"},
+		{"weird themes/slash", "weird_themes_slash"},
+	} {
+		if got := PromName(tc.in); got != tc.want {
+			t.Errorf("PromName(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestCounterName(t *testing.T) {
+	if got := CounterName("trail.writes"); got != "tracklog_trail_writes_total" {
+		t.Errorf("CounterName = %q", got)
+	}
+	// Already-suffixed names are not doubled.
+	if got := CounterName("reads_total"); got != "tracklog_reads_total" {
+		t.Errorf("CounterName = %q", got)
+	}
+}
+
+// Exposition escaping happens in exactly one place; these are the cases the
+// old hand-rolled exporters got wrong or never handled.
+func TestEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc", "help with \\ and\nnewline", Label{Key: "k", Value: "a\"b\\c\nd"})
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `# HELP esc help with \\ and\nnewline`) {
+		t.Errorf("HELP not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `esc{k="a\"b\\c\nd"} 0`) {
+		t.Errorf("label value not escaped:\n%s", out)
+	}
+	// And the quote-aware parser must take it back.
+	vals, err := ParseProm(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if _, ok := vals[`esc{k="a\"b\\c\nd"}`]; !ok {
+		t.Errorf("escaped sample not parsed: %v", vals)
+	}
+}
+
+// One HELP/TYPE header per metric name, even when the name has several
+// labeled series.
+func TestHeaderOncePerName(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("multi", "h", Label{Key: "d", Value: "0"})
+	r.Counter("multi", "h", Label{Key: "d", Value: "1"})
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(sb.String(), "# HELP multi"); n != 1 {
+		t.Errorf("HELP emitted %d times, want 1:\n%s", n, sb.String())
+	}
+}
+
+func TestHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "h", []float64{1, 2}, Label{Key: "d", Value: "0"})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(9)
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE lat histogram",
+		`lat_bucket{d="0",le="1"} 1`,
+		`lat_bucket{d="0",le="2"} 2`,
+		`lat_bucket{d="0",le="+Inf"} 3`,
+		`lat_sum{d="0"} 11`,
+		`lat_count{d="0"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	vals, err := ParseProm(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if vals[`lat_bucket{d="0",le="+Inf"}`] != 3 {
+		t.Errorf("+Inf bucket = %v", vals[`lat_bucket{d="0",le="+Inf"}`])
+	}
+}
+
+// Export order is sorted (name, label signature), independent of
+// registration order — the byte-determinism contract.
+func TestExpositionOrderIsSorted(t *testing.T) {
+	build := func(flip bool) string {
+		r := NewRegistry()
+		if flip {
+			r.Counter("b", "h")
+			r.Counter("a", "h", Label{Key: "d", Value: "1"})
+			r.Counter("a", "h", Label{Key: "d", Value: "0"})
+		} else {
+			r.Counter("a", "h", Label{Key: "d", Value: "0"})
+			r.Counter("a", "h", Label{Key: "d", Value: "1"})
+			r.Counter("b", "h")
+		}
+		var sb strings.Builder
+		if err := r.WriteProm(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	if build(false) != build(true) {
+		t.Errorf("exposition depends on registration order:\n%s\nvs\n%s", build(false), build(true))
+	}
+}
+
+func TestParsePromErrors(t *testing.T) {
+	for _, tc := range []struct{ name, in string }{
+		{"no value", "just_a_name\n"},
+		{"bad value", "x notanumber\n"},
+		{"duplicate", "x 1\nx 2\n"},
+		{"unterminated labels", `x{k="v" 1` + "\n"},
+	} {
+		if _, err := ParseProm(strings.NewReader(tc.in)); err == nil {
+			t.Errorf("%s: no error for %q", tc.name, tc.in)
+		}
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops", "h", Label{Key: "d", Value: "0"})
+	c.Add(2)
+	h := r.Histogram("lat", "h", []float64{1})
+	h.Observe(0.5)
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`"name":"lat"`, `"type":"histogram"`, `{"le":1,"count":1}`, `{"le":"+Inf","count":1}`,
+		`"name":"ops"`, `"labels":{"d":"0"}`, `"value":2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Error("JSON export missing trailing newline")
+	}
+}

@@ -1,0 +1,164 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// Every exported method must be a no-op (or zero read) on a nil receiver:
+// the discipline that lets instrumented components run unguarded with
+// telemetry disabled.
+func TestNilHandlesAreNoOps(t *testing.T) {
+	var r *Registry
+	if r.Len() != 0 {
+		t.Error("nil Registry.Len != 0")
+	}
+	c := r.Counter("c", "h")
+	if c != nil {
+		t.Error("nil registry returned non-nil Counter")
+	}
+	c.Inc()
+	c.Add(3)
+	if c.Value() != 0 {
+		t.Error("nil Counter.Value != 0")
+	}
+	g := r.Gauge("g", "h")
+	if g != nil {
+		t.Error("nil registry returned non-nil Gauge")
+	}
+	g.Set(1)
+	g.Add(2)
+	if g.Value() != 0 {
+		t.Error("nil Gauge.Value != 0")
+	}
+	h := r.Histogram("h", "h", []float64{1, 2})
+	if h != nil {
+		t.Error("nil registry returned non-nil Histogram")
+	}
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil Histogram reads nonzero")
+	}
+	if b, c := h.Buckets(); b != nil || c != nil {
+		t.Error("nil Histogram.Buckets returned slices")
+	}
+	r.CounterFunc("cf", "h", func() int64 { return 1 })
+	r.GaugeFunc("gf", "h", func() float64 { return 1 })
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Errorf("nil Registry.WriteProm: %v", err)
+	}
+	if sb.Len() != 0 {
+		t.Errorf("nil registry exposition not empty: %q", sb.String())
+	}
+	sb.Reset()
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Errorf("nil Registry.WriteJSON: %v", err)
+	}
+	if got := sb.String(); got != "{\"metrics\":[]}\n" {
+		t.Errorf("nil registry JSON = %q", got)
+	}
+}
+
+func TestCounterSemantics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops", "help")
+	c.Inc()
+	c.Add(4)
+	c.Add(-2) // negative deltas ignored: counters are monotonic
+	if c.Value() != 5 {
+		t.Errorf("Value = %d, want 5", c.Value())
+	}
+}
+
+func TestGaugeSemantics(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("depth", "help")
+	g.Set(4)
+	g.Add(-1.5)
+	if g.Value() != 2.5 {
+		t.Errorf("Value = %v, want 2.5", g.Value())
+	}
+}
+
+func TestHistogramBucketsAreCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "help", []float64{10, 1, 100}) // unsorted on purpose
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 556.5 {
+		t.Errorf("Sum = %v, want 556.5", h.Sum())
+	}
+	bounds, cum := h.Buckets()
+	wantBounds := []float64{1, 10, 100}
+	wantCum := []int64{2, 3, 4} // <=1: {0.5, 1}; <=10: +{5}; <=100: +{50}
+	for i := range wantBounds {
+		if bounds[i] != wantBounds[i] || cum[i] != wantCum[i] {
+			t.Errorf("bucket %d = (%v, %d), want (%v, %d)", i, bounds[i], cum[i], wantBounds[i], wantCum[i])
+		}
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "h", Label{Key: "a", Value: "1"})
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	// Same sanitized name and label set, registered as a different kind:
+	// still the same series identity.
+	r.Gauge("x", "other", Label{Key: "a", Value: "1"})
+}
+
+func TestDistinctLabelsAreDistinctSeries(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "h", Label{Key: "d", Value: "0"})
+	r.Counter("x", "h", Label{Key: "d", Value: "1"}) // must not panic
+	if r.Len() != 2 {
+		t.Errorf("Len = %d, want 2", r.Len())
+	}
+}
+
+// Label keys are sanitized and sorted, so registration order does not leak
+// into series identity or exposition order.
+func TestLabelKeysSortedAndSanitized(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "h", Label{Key: "z", Value: "1"}, Label{Key: "a-b", Value: "2"})
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `x{a_b="2",z="1"}`) {
+		t.Errorf("labels not sorted/sanitized:\n%s", sb.String())
+	}
+}
+
+func TestFuncMetricsReadLive(t *testing.T) {
+	r := NewRegistry()
+	n := int64(0)
+	r.CounterFunc("live", "h", func() int64 { return n })
+	n = 7
+	vals := mustParse(t, r)
+	if vals["live"] != 7 {
+		t.Errorf("live = %v, want 7 (func metrics must read at export time)", vals["live"])
+	}
+}
+
+func mustParse(t *testing.T, r *Registry) map[string]float64 {
+	t.Helper()
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := ParseProm(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("round-trip parse: %v\n%s", err, sb.String())
+	}
+	return vals
+}

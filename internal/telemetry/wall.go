@@ -1,0 +1,82 @@
+package telemetry
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// Wall-clock side channel.
+//
+// Everything in this file measures the HOST cost of running the simulator —
+// elapsed wall time, events/sec, ns/event, allocations per event from
+// runtime.MemStats deltas. These numbers are inherently nondeterministic
+// (they vary with machine load, GC timing, and CPU), so they are kept
+// strictly out of the Registry: a WallReport renders to stdout or a
+// dedicated side-channel file, never into an export that a two-run
+// byte-compare CI job reads. The two wall-clock reads below carry
+// //lint:allow virtualtime escapes because they intentionally read the
+// host clock; nothing here ever feeds a simulated timestamp.
+
+// WallTimer captures a wall-clock + allocation baseline; Stop turns it
+// into per-event host-cost rates. A nil *WallTimer is a valid disabled
+// handle.
+type WallTimer struct {
+	start time.Time
+	mem   runtime.MemStats
+}
+
+// StartWall snapshots the host clock and allocator counters.
+func StartWall() *WallTimer {
+	t := &WallTimer{}
+	runtime.ReadMemStats(&t.mem)
+	t.start = time.Now() //lint:allow virtualtime wall-clock side channel measuring host cost; excluded from all byte-compared exports
+	return t
+}
+
+// Stop computes host-cost rates for the given number of kernel events
+// dispatched since StartWall.
+func (t *WallTimer) Stop(events int64) WallReport {
+	if t == nil {
+		return WallReport{}
+	}
+	elapsed := time.Since(t.start) //lint:allow virtualtime wall-clock side channel measuring host cost; excluded from all byte-compared exports
+	var mem runtime.MemStats
+	runtime.ReadMemStats(&mem)
+	r := WallReport{
+		Events: events,
+		WallNS: elapsed.Nanoseconds(),
+		Allocs: int64(mem.Mallocs - t.mem.Mallocs),
+		Bytes:  int64(mem.TotalAlloc - t.mem.TotalAlloc),
+	}
+	if r.WallNS > 0 && events > 0 {
+		r.EventsPerSec = float64(events) / elapsed.Seconds()
+		r.NSPerEvent = float64(r.WallNS) / float64(events)
+	}
+	if events > 0 {
+		r.AllocsPerEvent = float64(r.Allocs) / float64(events)
+		r.BytesPerEvent = float64(r.Bytes) / float64(events)
+	}
+	return r
+}
+
+// WallReport is the nondeterministic host-cost summary of a run.
+type WallReport struct {
+	Events         int64   // kernel events dispatched in the measured window
+	WallNS         int64   // host nanoseconds elapsed
+	EventsPerSec   float64 // events / wall second
+	NSPerEvent     float64 // host ns per event
+	Allocs         int64   // heap allocations in the window
+	Bytes          int64   // heap bytes allocated in the window
+	AllocsPerEvent float64
+	BytesPerEvent  float64
+}
+
+// String renders the report for human eyes. Callers must keep this out of
+// byte-compared artifacts; every line is tagged "wall" to make leaks easy
+// to grep for.
+func (r WallReport) String() string {
+	return fmt.Sprintf(
+		"wall: %d events in %.3fs — %.0f events/sec, %.0f ns/event, %.1f allocs/event (%.0f B/event)",
+		r.Events, float64(r.WallNS)/1e9, r.EventsPerSec, r.NSPerEvent, r.AllocsPerEvent, r.BytesPerEvent)
+}

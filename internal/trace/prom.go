@@ -1,23 +1,23 @@
 package trace
 
 import (
-	"bufio"
 	"fmt"
 	"io"
 	"sort"
-	"strconv"
-	"strings"
+
+	"tracklog/internal/telemetry"
 )
 
-// Prometheus text-exposition export. The sampler's registered gauges (their
-// most recent sampled value) and an optional counter snapshot render in the
-// text format scrapers and pushgateways accept. Output ordering is fully
-// deterministic: gauges appear in registration (column) order, counters in
-// sorted-name order, and all numbers use the same deterministic formatting
-// as the CSV/JSON exports.
+// Prometheus text-exposition export, routed through the unified telemetry
+// registry (internal/telemetry) so name sanitization, help/label escaping,
+// and value formatting live in exactly one place. The sampler's registered
+// gauges (their most recent sampled value) and an optional counter
+// snapshot render in the text format scrapers and pushgateways accept.
+// Output ordering is fully deterministic: the registry sorts series by
+// exported name.
 
 // promPrefix namespaces every exported metric.
-const promPrefix = "tracklog_"
+const promPrefix = telemetry.Prefix
 
 // WriteProm writes the latest sample of each gauge plus the given counter
 // snapshot (may be nil) in Prometheus text exposition format. Gauge columns
@@ -25,20 +25,21 @@ const promPrefix = "tracklog_"
 // names additionally get a "_total" suffix if they lack one, per convention.
 // A nil or empty sampler exports only the virtual-time gauge and counters.
 func (s *Sampler) WriteProm(w io.Writer, counters map[string]int64) error {
-	bw := bufio.NewWriter(w)
-	emit := func(name, typ, help, val string) {
-		fmt.Fprintf(bw, "# HELP %s %s\n# TYPE %s %s\n%s %s\n", name, help, name, typ, name, val)
-	}
+	reg := telemetry.NewRegistry()
 	var at int64
 	if s.Rows() > 0 {
 		at = s.rows[len(s.rows)-1].at
 	}
-	emit(promPrefix+"time_ms", "gauge", "Virtual time of the exported sample, in milliseconds.", msec(at))
-	if s != nil && len(s.rows) > 0 {
+	reg.GaugeFunc(promPrefix+"time_ms",
+		"Virtual time of the exported sample, in milliseconds.",
+		func() float64 { return float64(at) / 1e6 })
+	if s.Rows() > 0 {
 		last := s.rows[len(s.rows)-1]
 		for i, n := range s.names {
-			emit(promPrefix+promName(n), "gauge",
-				fmt.Sprintf("Last sampled value of gauge %q.", n), fmtVal(last.vals[i]))
+			v := last.vals[i]
+			reg.GaugeFunc(promPrefix+telemetry.PromName(n),
+				fmt.Sprintf("Last sampled value of gauge %q.", n),
+				func() float64 { return v })
 		}
 	}
 	names := make([]string, 0, len(counters))
@@ -47,56 +48,18 @@ func (s *Sampler) WriteProm(w io.Writer, counters map[string]int64) error {
 	}
 	sort.Strings(names)
 	for _, n := range names {
-		pn := promPrefix + promName(n)
-		if !strings.HasSuffix(pn, "_total") {
-			pn += "_total"
-		}
-		emit(pn, "counter", fmt.Sprintf("Value of counter %q.", n),
-			strconv.FormatInt(counters[n], 10))
+		v := counters[n]
+		reg.CounterFunc(telemetry.CounterName(n),
+			fmt.Sprintf("Value of counter %q.", n),
+			func() int64 { return v })
 	}
-	return bw.Flush()
-}
-
-// promName maps an internal metric name onto the Prometheus identifier
-// charset [a-zA-Z0-9_]; every other rune becomes '_'.
-func promName(s string) string {
-	var b strings.Builder
-	for _, r := range s {
-		switch {
-		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
-			b.WriteRune(r)
-		default:
-			b.WriteByte('_')
-		}
-	}
-	return b.String()
+	return reg.WriteProm(w)
 }
 
 // ParseProm parses Prometheus text exposition format (as written by
-// WriteProm) back into a name→value map, for round-trip tests and tooling.
-// Comment and blank lines are skipped; labels are not supported.
+// WriteProm or a telemetry.Registry) back into a key→value map, for
+// round-trip tests and tooling. It delegates to telemetry.ParseProm;
+// labeled samples key by their full rendered form.
 func ParseProm(r io.Reader) (map[string]float64, error) {
-	vals := make(map[string]float64)
-	sc := bufio.NewScanner(r)
-	line := 0
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" || strings.HasPrefix(text, "#") {
-			continue
-		}
-		name, val, ok := strings.Cut(text, " ")
-		if !ok {
-			return nil, fmt.Errorf("prom line %d: no value in %q", line, text)
-		}
-		f, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
-		if err != nil {
-			return nil, fmt.Errorf("prom line %d: %v", line, err)
-		}
-		if _, dup := vals[name]; dup {
-			return nil, fmt.Errorf("prom line %d: duplicate metric %q", line, name)
-		}
-		vals[name] = f
-	}
-	return vals, sc.Err()
+	return telemetry.ParseProm(r)
 }

@@ -1,0 +1,38 @@
+package trail
+
+import (
+	"fmt"
+
+	"tracklog/internal/metrics"
+	"tracklog/internal/telemetry"
+)
+
+// RegisterMetrics registers the driver's full telemetry on reg: every
+// Stats counter (via the metrics bridge, so names match the existing
+// "trail.*" exposition), live queue/staging gauges, and every member disk
+// — log disks as log0..logN, data disks as data0..dataN — including their
+// virtual-time utilization. A nil registry registers nothing.
+func (d *Driver) RegisterMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	metrics.RegisterCounters(reg, func() *metrics.Counters { return d.stats.Counters() })
+	reg.GaugeFunc(telemetry.Prefix+"trail_log_queue_depth",
+		"Client writes currently queued for the log disks.",
+		func() float64 { return float64(d.LogQueueLen()) })
+	reg.GaugeFunc(telemetry.Prefix+"trail_staged_bytes",
+		"Memory currently pinned by the staging buffer.",
+		func() float64 { return float64(d.StagedBytes()) })
+	reg.GaugeFunc(telemetry.Prefix+"trail_outstanding_records",
+		"Logged records not yet written back to a data disk.",
+		func() float64 { return float64(d.OutstandingRecords()) })
+	reg.GaugeFunc(telemetry.Prefix+"trail_avg_track_utilization",
+		"Mean per-track space utilization over filled-and-left tracks.",
+		func() float64 { return d.stats.AvgTrackUtilization() })
+	for i, ld := range d.logs {
+		ld.disk.RegisterMetrics(reg, fmt.Sprintf("log%d", i))
+	}
+	for i, q := range d.dataQueues {
+		q.RegisterMetrics(reg, fmt.Sprintf("data%d", i))
+	}
+}
