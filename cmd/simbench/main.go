@@ -39,6 +39,7 @@ import (
 	"tracklog/internal/metrics"
 	"tracklog/internal/sim"
 	"tracklog/internal/telemetry"
+	"tracklog/internal/timeline"
 )
 
 func main() {
@@ -57,6 +58,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	jsonOut := fs.String("json", "", "benchfmt summary file (empty disables)")
 	appendJSON := fs.Bool("append", false, "merge into an existing -json file, replacing prior simbench/ entries")
 	telemetryOut := fs.String("telemetry", "", "telemetry export base path; one file per world, world name inserted before the .prom/.json extension")
+	tlBucket := fs.Duration("timeline", 0, "aggregate per-layer state occupancy into virtual-time buckets of this width (0 disables)")
+	tlOut := fs.String("timeline-out", "timeline.csv", "timeline export base path for -timeline; one file per world, world name inserted before the extension (.json for JSON, else CSV)")
 	wallOut := fs.String("wall-out", "", "wall-clock side-channel JSON file (nondeterministic; never byte-compare)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile (runtime/pprof) covering every world run")
 	memProfile := fs.String("memprofile", "", "write a heap profile (runtime/pprof) after the last world")
@@ -87,7 +90,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if name == "" {
 			continue
 		}
-		entry, wall, err := runWorld(name, *writes, *telemetryOut, stdout)
+		entry, wall, err := runWorld(name, *writes, *telemetryOut, *tlBucket, *tlOut, stdout)
 		if err != nil {
 			return fail(fmt.Errorf("world %s: %w", name, err))
 		}
@@ -131,7 +134,7 @@ type wallWorld struct {
 // the result: the returned benchfmt entry and everything written to stdout
 // or the telemetry export are pure virtual-time (byte-deterministic); the
 // wall report is the host-cost side channel.
-func runWorld(name string, writes int, telemetryBase string, stdout io.Writer) (benchfmt.Entry, wallWorld, error) {
+func runWorld(name string, writes int, telemetryBase string, tlBucket time.Duration, tlBase string, stdout io.Writer) (benchfmt.Entry, wallWorld, error) {
 	st, err := stacks.ByName(name, "", 0)
 	if err != nil {
 		return benchfmt.Entry{}, wallWorld{}, err
@@ -147,6 +150,14 @@ func runWorld(name string, writes int, telemetryBase string, stdout io.Writer) (
 	}
 	if st.Observe != nil {
 		st.Observe(reg)
+	}
+	var agg *timeline.Aggregator
+	if tlBucket > 0 {
+		agg = timeline.New(tlBucket)
+		env.SetTimeline(agg)
+		if st.ObserveTimeline != nil {
+			st.ObserveTimeline(agg)
+		}
 	}
 
 	// The WAL world runs the simulation during Build (catalog setup), so
@@ -204,6 +215,14 @@ func runWorld(name string, writes int, telemetryBase string, stdout io.Writer) (
 		}
 		fmt.Fprintf(stdout, "telemetry -> %s\n", path)
 	}
+	if agg != nil {
+		agg.Finish(int64(env.Now()))
+		path := telemetryPath(tlBase, name)
+		if err := writeTimeline(path, agg); err != nil {
+			return benchfmt.Entry{}, wallWorld{}, err
+		}
+		fmt.Fprintf(stdout, "timeline -> %s\n", path)
+	}
 	return entry, wallWorld{Name: name, Report: report}, nil
 }
 
@@ -227,6 +246,24 @@ func writeTelemetry(path string, reg *telemetry.Registry) error {
 		err = reg.WriteProm(f)
 	} else {
 		err = reg.WriteJSON(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// writeTimeline exports the finished aggregator to path: JSON for .json,
+// the CSV exposition otherwise. Both forms are byte-deterministic.
+func writeTimeline(path string, agg *timeline.Aggregator) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".json") {
+		err = agg.WriteJSON(f)
+	} else {
+		err = agg.WriteCSV(f)
 	}
 	if cerr := f.Close(); err == nil {
 		err = cerr

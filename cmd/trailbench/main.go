@@ -21,6 +21,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"tracklog/internal/benchfmt"
@@ -33,6 +34,7 @@ import (
 	"tracklog/internal/sched"
 	"tracklog/internal/sim"
 	"tracklog/internal/stddisk"
+	"tracklog/internal/timeline"
 	"tracklog/internal/trail"
 	"tracklog/internal/workload"
 )
@@ -48,6 +50,8 @@ func main() {
 	writes := flag.Int("writes", 200, "writes per measurement point")
 	seed := flag.Uint64("seed", 1, "random seed")
 	jsonOut := flag.String("json", "BENCH_trail.json", "machine-readable benchmark summary file (empty disables)")
+	tlBucket := flag.Duration("timeline", 0, "aggregate per-layer state occupancy into virtual-time buckets of this width during the -json sync-write grid (0 disables)")
+	tlOut := flag.String("timeline-out", "timeline.csv", "timeline export base path for -timeline; one file per sync-write configuration, the slash-mangled name inserted before the extension (.json for JSON, else CSV)")
 	summaryOnly := flag.Bool("summary-only", false, "skip the experiment reports; only write the -json summary (CI regression gating)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile (runtime/pprof) covering the whole run")
 	memProfile := flag.String("memprofile", "", "write a heap profile (runtime/pprof) at exit")
@@ -163,7 +167,7 @@ func main() {
 		fmt.Println(dl)
 	}
 	if *jsonOut != "" {
-		if err := writeBenchJSON(*jsonOut, *writes, *seed); err != nil {
+		if err := writeBenchJSON(*jsonOut, *writes, *seed, *tlBucket, *tlOut); err != nil {
 			fail(err)
 		}
 		fmt.Printf("bench summary -> %s\n", *jsonOut)
@@ -175,12 +179,12 @@ func main() {
 // and counters in the benchfmt schema. The file is byte-deterministic for a
 // given seed, so cmd/benchdiff can gate regressions against a checked-in
 // baseline.
-func writeBenchJSON(path string, writes int, seed uint64) error {
+func writeBenchJSON(path string, writes int, seed uint64, tlBucket time.Duration, tlBase string) error {
 	bf := &benchfmt.File{Writes: writes, Seed: seed}
 	for _, system := range []string{"trail", "std"} {
 		for _, mode := range []workload.Mode{workload.Sparse, workload.Clustered} {
 			for _, sizeKB := range []int{1, 8} {
-				e, err := benchPoint(system, mode, sizeKB, writes, seed)
+				e, err := benchPoint(system, mode, sizeKB, writes, seed, tlBucket, tlBase)
 				if err != nil {
 					return err
 				}
@@ -263,10 +267,17 @@ func explorePoint(seed uint64) (benchfmt.Entry, error) {
 	return e, nil
 }
 
-// benchPoint runs one sync-write configuration on a fresh rig.
-func benchPoint(system string, mode workload.Mode, sizeKB, writes int, seed uint64) (benchfmt.Entry, error) {
+// benchPoint runs one sync-write configuration on a fresh rig. With a
+// timeline bucket it also attaches an aggregator to every layer of the rig
+// and exports the per-configuration occupancy timeline next to tlBase.
+func benchPoint(system string, mode workload.Mode, sizeKB, writes int, seed uint64, tlBucket time.Duration, tlBase string) (benchfmt.Entry, error) {
 	env := sim.NewEnv()
 	defer env.Close()
+	var agg *timeline.Aggregator
+	if tlBucket > 0 {
+		agg = timeline.New(tlBucket)
+		env.SetTimeline(agg)
+	}
 	var dev blockdev.Device
 	var drv *trail.Driver
 	switch system {
@@ -282,9 +293,12 @@ func benchPoint(system string, mode workload.Mode, sizeKB, writes int, seed uint
 			return benchfmt.Entry{}, err
 		}
 		dev = drv.Dev(0)
+		drv.SetTimeline(agg)
 	default:
 		d := disk.New(env, disk.WDCaviar())
-		dev = stddisk.New(env, d, blockdev.DevID{Major: 3}, sched.LOOK)
+		std := stddisk.New(env, d, blockdev.DevID{Major: 3}, sched.LOOK)
+		std.SetTimeline(agg, "disk0")
+		dev = std
 	}
 	res, err := workload.RunSyncWrites(env, dev, workload.SyncWriteConfig{
 		Mode:             mode,
@@ -306,7 +320,42 @@ func benchPoint(system string, mode workload.Mode, sizeKB, writes int, seed uint
 	if drv != nil {
 		e.Counters = drv.Stats().Counters().Snapshot()
 	}
+	if agg != nil {
+		agg.Finish(int64(env.Now()))
+		if err := writeTimeline(timelinePath(tlBase, e.Name), agg); err != nil {
+			return benchfmt.Entry{}, err
+		}
+	}
 	return e, nil
+}
+
+// timelinePath inserts the slash-mangled configuration name before the base
+// path's extension: "timeline.csv" + "sync-write/trail/sparse/1KB" ->
+// "timeline-sync-write-trail-sparse-1KB.csv".
+func timelinePath(base, name string) string {
+	name = strings.ReplaceAll(name, "/", "-")
+	if i := strings.LastIndexByte(base, '.'); i > 0 {
+		return base[:i] + "-" + name + base[i:]
+	}
+	return base + "-" + name
+}
+
+// writeTimeline exports the finished aggregator to path: JSON for .json,
+// the CSV exposition otherwise. Both forms are byte-deterministic.
+func writeTimeline(path string, agg *timeline.Aggregator) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".json") {
+		err = agg.WriteJSON(f)
+	} else {
+		err = agg.WriteCSV(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // usFloat converts a duration to microseconds.

@@ -59,6 +59,7 @@ import (
 	"strings"
 	"time"
 
+	"tracklog/internal/benchfmt"
 	"tracklog/internal/blockdev"
 	"tracklog/internal/crashexplore"
 	"tracklog/internal/crashexplore/stacks"
@@ -73,6 +74,7 @@ import (
 	"tracklog/internal/span"
 	"tracklog/internal/stddisk"
 	"tracklog/internal/telemetry"
+	"tracklog/internal/timeline"
 	"tracklog/internal/trace"
 	"tracklog/internal/trail"
 	"tracklog/internal/workload"
@@ -107,6 +109,10 @@ func main() {
 	spanOut := flag.String("span-out", "", "write every request's span tree as deterministic JSON")
 	explainTail := flag.Float64("explain-tail", 0, "explain the slowest FRAC of requests (e.g. 0.01; 0 disables)")
 	spanCap := flag.Int("span-cap", span.DefaultCapacity, "span recorder ring capacity in requests")
+	timelineBucket := flag.Duration("timeline", 0, "aggregate per-layer state occupancy into virtual-time buckets of this width (0 disables)")
+	timelineOut := flag.String("timeline-out", "timeline.csv", "timeline export file for -timeline (.json for JSON, else CSV)")
+	seekDerate := flag.Int64("seek-derate", 0, "slow the log disk's actual seek arm by this many parts per million while driver predictions keep the spec curve (perturbation knob for cmd/rundiff walkthroughs)")
+	benchOut := flag.String("bench-out", "", "write a single-entry benchfmt summary of the run's latency distribution (for cmd/rundiff)")
 	flag.Parse()
 	if *faultSeed == 0 {
 		*faultSeed = *seed
@@ -119,6 +125,10 @@ func main() {
 	if *metricsOut != "" {
 		obs.setMetrics(*metricsOut)
 	}
+	if *timelineBucket > 0 {
+		obs.setTimeline(*timelineBucket, *timelineOut)
+	}
+	obs.benchOut = *benchOut
 	pol := qosPolicy(*qosOn, *deadline, *maxDepth)
 	var err error
 	switch {
@@ -127,13 +137,13 @@ func main() {
 	case *faultTol:
 		err = runFaultTol(*faults, *writes, *faultSeed)
 	case *replayFile != "":
-		err = runReplayFile(*system, *replayFile, pol, obs)
+		err = runReplayFile(*system, *replayFile, pol, *seekDerate, obs)
 	case *pattern != "":
-		err = runPattern(*system, *pattern, *writes, *size, *writeRatio, *seed, pol, obs)
+		err = runPattern(*system, *pattern, *writes, *size, *writeRatio, *seed, pol, *seekDerate, obs)
 	case *offeredLoad > 0:
-		err = runOpenLoop(*system, *size, *writes, *offeredLoad, *seed, *faults, *faultSeed, pol, *verify, obs)
+		err = runOpenLoop(*system, *size, *writes, *offeredLoad, *seed, *faults, *faultSeed, pol, *seekDerate, *verify, obs)
 	default:
-		err = run(*system, *mode, *size, *procs, *writes, *seed, *faults, *faultSeed, pol, *verifySnapshot, obs)
+		err = run(*system, *mode, *size, *procs, *writes, *seed, *faults, *faultSeed, pol, *seekDerate, *verifySnapshot, obs)
 	}
 	if err == nil {
 		err = obs.finish()
@@ -168,6 +178,18 @@ type observer struct {
 	// kernel and components register into it at attach time.
 	metricsOut string
 	reg        *telemetry.Registry
+
+	// Virtual-time utilization timeline (nil unless -timeline asked for
+	// it); finish() closes the open intervals at the environment's final
+	// clock and exports.
+	timelineOut string
+	agg         *timeline.Aggregator
+	env         *sim.Env
+
+	// Single-entry benchfmt summary ("" disables); run() deposits the
+	// entry, finish() writes the file.
+	benchOut   string
+	benchEntry *benchfmt.Entry
 }
 
 func newObserver(traceOut string, traceCap int, sampleOut string, interval time.Duration) *observer {
@@ -193,6 +215,13 @@ func (o *observer) setSpans(capacity int, print bool, out string, tailFrac float
 func (o *observer) setMetrics(out string) {
 	o.metricsOut = out
 	o.reg = telemetry.NewRegistry()
+}
+
+// setTimeline installs the utilization-timeline aggregator before the run
+// starts (same setter discipline as setSpans).
+func (o *observer) setTimeline(bucket time.Duration, out string) {
+	o.timelineOut = out
+	o.agg = timeline.New(bucket)
 }
 
 // attach wires the observer into a freshly built rig: the kernel and every
@@ -226,6 +255,16 @@ func (o *observer) attach(env *sim.Env, drv *trail.Driver, std *stddisk.Device) 
 		}
 		if std != nil {
 			std.RegisterMetrics(o.reg, "disk0")
+		}
+	}
+	if o.agg != nil {
+		o.env = env
+		env.SetTimeline(o.agg)
+		if drv != nil {
+			drv.SetTimeline(o.agg)
+		}
+		if std != nil {
+			std.SetTimeline(o.agg, "disk0")
 		}
 	}
 	if o.interval <= 0 {
@@ -310,6 +349,24 @@ func (o *observer) finish() error {
 		}
 		fmt.Printf("metrics: %d series -> %s\n", o.reg.Len(), o.metricsOut)
 	}
+	if o.agg != nil {
+		o.agg.Finish(int64(o.env.Now()))
+		write := o.agg.WriteCSV
+		if strings.HasSuffix(o.timelineOut, ".json") {
+			write = o.agg.WriteJSON
+		}
+		if err := writeFile(o.timelineOut, write); err != nil {
+			return err
+		}
+		fmt.Printf("timeline: bucket %v -> %s\n", time.Duration(o.agg.BucketNS()), o.timelineOut)
+	}
+	if o.benchOut != "" && o.benchEntry != nil {
+		bf := &benchfmt.File{Experiments: []benchfmt.Entry{*o.benchEntry}}
+		if err := bf.WriteFile(o.benchOut); err != nil {
+			return err
+		}
+		fmt.Printf("bench summary -> %s\n", o.benchOut)
+	}
 	if o.rec != nil {
 		reqs := o.rec.Requests()
 		if o.spans {
@@ -381,7 +438,7 @@ func qosPolicy(on bool, deadline time.Duration, maxDepth int) *qos.Policy {
 // optionally attaching the fault scenario to every drive and the overload
 // policy to the driver. Every stateful component is also registered in a
 // checkpointable World (for -verify-snapshot).
-func buildDevice(env *sim.Env, system, scenario string, faultSeed uint64, pol *qos.Policy) (blockdev.Device, *trail.Driver, *stddisk.Device, []*fault.Plan, *crashexplore.World, error) {
+func buildDevice(env *sim.Env, system, scenario string, faultSeed uint64, pol *qos.Policy, seekDeratePPM int64) (blockdev.Device, *trail.Driver, *stddisk.Device, []*fault.Plan, *crashexplore.World, error) {
 	var fcfg fault.Config
 	if scenario != "" {
 		var err error
@@ -404,7 +461,9 @@ func buildDevice(env *sim.Env, system, scenario string, faultSeed uint64, pol *q
 	}
 	switch system {
 	case "trail":
-		log := disk.New(env, disk.ST41601N())
+		lp := disk.ST41601N()
+		lp.SeekDeratePPM = seekDeratePPM
+		log := disk.New(env, lp)
 		if err := trail.Format(log); err != nil {
 			return nil, nil, nil, nil, nil, err
 		}
@@ -422,7 +481,9 @@ func buildDevice(env *sim.Env, system, scenario string, faultSeed uint64, pol *q
 		registerPlans()
 		return drv.Dev(0), drv, nil, plans, w, nil
 	case "std":
-		d := disk.New(env, disk.WDCaviar())
+		dp := disk.WDCaviar()
+		dp.SeekDeratePPM = seekDeratePPM
+		d := disk.New(env, dp)
 		attach(d)
 		sd := stddisk.New(env, d, blockdev.DevID{Major: 3}, sched.LOOK)
 		if pol != nil {
@@ -482,7 +543,7 @@ func verifyWorldSnapshot(w *crashexplore.World) error {
 }
 
 // runReplayFile replays a trace file against the chosen system.
-func runReplayFile(system, path string, pol *qos.Policy, obs *observer) error {
+func runReplayFile(system, path string, pol *qos.Policy, seekDerate int64, obs *observer) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -494,7 +555,7 @@ func runReplayFile(system, path string, pol *qos.Policy, obs *observer) error {
 	}
 	env := sim.NewEnv()
 	defer env.Close()
-	dev, drv, std, _, _, err := buildDevice(env, system, "", 0, pol)
+	dev, drv, std, _, _, err := buildDevice(env, system, "", 0, pol, seekDerate)
 	if err != nil {
 		return err
 	}
@@ -508,10 +569,10 @@ func runReplayFile(system, path string, pol *qos.Policy, obs *observer) error {
 }
 
 // runPattern synthesizes a trace with the named pattern and replays it.
-func runPattern(system, pattern string, ops, size int, writeRatio float64, seed uint64, pol *qos.Policy, obs *observer) error {
+func runPattern(system, pattern string, ops, size int, writeRatio float64, seed uint64, pol *qos.Policy, seekDerate int64, obs *observer) error {
 	env := sim.NewEnv()
 	defer env.Close()
-	dev, drv, std, _, _, err := buildDevice(env, system, "", 0, pol)
+	dev, drv, std, _, _, err := buildDevice(env, system, "", 0, pol, seekDerate)
 	if err != nil {
 		return err
 	}
@@ -543,10 +604,10 @@ func printReplay(system, source string, res *workload.ReplayResult) {
 	fmt.Printf("elapsed %v, %d ops issued late\n", res.Elapsed, res.Lagged)
 }
 
-func run(system, mode string, size, procs, writes int, seed uint64, scenario string, faultSeed uint64, pol *qos.Policy, verifySnap bool, obs *observer) error {
+func run(system, mode string, size, procs, writes int, seed uint64, scenario string, faultSeed uint64, pol *qos.Policy, seekDerate int64, verifySnap bool, obs *observer) error {
 	env := sim.NewEnv()
 	defer env.Close()
-	dev, drv, std, plans, world, err := buildDevice(env, system, scenario, faultSeed, pol)
+	dev, drv, std, plans, world, err := buildDevice(env, system, scenario, faultSeed, pol, seekDerate)
 	if err != nil {
 		return err
 	}
@@ -571,6 +632,13 @@ func run(system, mode string, size, procs, writes int, seed uint64, scenario str
 	}
 	fmt.Printf("%s / %s / %dB x %d writes x %d procs\n", system, mode, size, writes, procs)
 	fmt.Printf("latency: %v\n", res.Latency)
+	obs.benchEntry = &benchfmt.Entry{
+		Name:   fmt.Sprintf("sync-write/%s/%s/%dB", system, mode, size),
+		Count:  res.Latency.Count(),
+		MeanUS: float64(res.Latency.Mean().Nanoseconds()) / 1000,
+		P50US:  float64(res.Latency.Quantile(0.50).Nanoseconds()) / 1000,
+		P99US:  float64(res.Latency.Quantile(0.99).Nanoseconds()) / 1000,
+	}
 	fmt.Printf("elapsed: %v  throughput: %.0f writes/s\n",
 		res.Elapsed, float64(res.Latency.Count())/res.Elapsed.Seconds())
 	if drv != nil {
@@ -607,10 +675,10 @@ type ackedWrite struct {
 // deadline outcomes. With verify, every acknowledged write is read back
 // after the run: an acknowledged write that cannot be read back intact is
 // data loss and fails the run.
-func runOpenLoop(system string, size, writes int, rate float64, seed uint64, scenario string, faultSeed uint64, pol *qos.Policy, verify bool, obs *observer) error {
+func runOpenLoop(system string, size, writes int, rate float64, seed uint64, scenario string, faultSeed uint64, pol *qos.Policy, seekDerate int64, verify bool, obs *observer) error {
 	env := sim.NewEnv()
 	defer env.Close()
-	dev, drv, std, plans, _, err := buildDevice(env, system, scenario, faultSeed, pol)
+	dev, drv, std, plans, _, err := buildDevice(env, system, scenario, faultSeed, pol, seekDerate)
 	if err != nil {
 		return err
 	}

@@ -28,6 +28,7 @@ import (
 	"tracklog/internal/geom"
 	"tracklog/internal/sim"
 	"tracklog/internal/telemetry"
+	"tracklog/internal/timeline"
 )
 
 // WriteFunc makes version v of slot s durable, returning nil once the stack
@@ -68,6 +69,13 @@ type Stack struct {
 	// Build; the explorer never does. Registering on a nil registry must
 	// be a no-op, matching the component RegisterMetrics contract.
 	Observe func(reg *telemetry.Registry)
+
+	// ObserveTimeline, if non-nil, attaches the most recently Built rig to
+	// a utilization-timeline aggregator (disk lanes, queue depths, driver
+	// levels). Callers that want timelines (cmd/simbench) invoke it right
+	// after Build; the explorer never does. Attaching a nil aggregator must
+	// be a no-op, matching the component SetTimeline contract.
+	ObserveTimeline func(a *timeline.Aggregator)
 }
 
 // launchWorkload starts the harness's slot writers on env: one process per

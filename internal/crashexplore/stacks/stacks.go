@@ -16,6 +16,7 @@ import (
 	"tracklog/internal/sim"
 	"tracklog/internal/stddisk"
 	"tracklog/internal/telemetry"
+	"tracklog/internal/timeline"
 	"tracklog/internal/trail"
 	"tracklog/internal/txn"
 	"tracklog/internal/wal"
@@ -118,6 +119,11 @@ func TrailStack(scenario string, faultSeed uint64) (crashexplore.Stack, error) {
 				drv.RegisterMetrics(reg)
 			}
 		},
+		ObserveTimeline: func(a *timeline.Aggregator) {
+			if drv != nil {
+				drv.SetTimeline(a)
+			}
+		},
 	}, nil
 }
 
@@ -203,6 +209,14 @@ func RAID5Stack() crashexplore.Stack {
 				sd.RegisterMetrics(reg, fmt.Sprintf("r%d", i))
 			}
 		},
+		ObserveTimeline: func(a *timeline.Aggregator) {
+			if arr != nil {
+				arr.SetTimeline(a, "raid0")
+			}
+			for i, sd := range memberDevs {
+				sd.SetTimeline(a, fmt.Sprintf("r%d", i))
+			}
+		},
 	}
 }
 
@@ -239,6 +253,11 @@ func StdStack() crashexplore.Stack {
 		Observe: func(reg *telemetry.Registry) {
 			if dev != nil {
 				dev.RegisterMetrics(reg, "disk0")
+			}
+		},
+		ObserveTimeline: func(a *timeline.Aggregator) {
+			if dev != nil {
+				dev.SetTimeline(a, "disk0")
 			}
 		},
 	}
@@ -405,6 +424,14 @@ func WALStack() crashexplore.Stack {
 			}
 			if mgr != nil {
 				mgr.RegisterMetrics(reg)
+			}
+		},
+		ObserveTimeline: func(a *timeline.Aggregator) {
+			if drv != nil {
+				drv.SetTimeline(a)
+			}
+			if walLog != nil {
+				walLog.SetTimeline(a, "wal0")
 			}
 		},
 	}

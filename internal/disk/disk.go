@@ -22,6 +22,7 @@ import (
 
 	"tracklog/internal/geom"
 	"tracklog/internal/sim"
+	"tracklog/internal/timeline"
 	"tracklog/internal/trace"
 )
 
@@ -58,6 +59,14 @@ type Params struct {
 	// the predictions will go awry after a long period of disk idle
 	// time", section 3.1).
 	DriftPPM int64
+	// SeekDeratePPM slows the actual arm relative to the spec-sheet seek
+	// curve by parts per million (500000 = 50% slower). Like DriftPPM it
+	// models mechanics diverging from the published numbers: drivers keep
+	// predicting positioning cost from SeekT2T/SeekAvg, so a derated arm
+	// lands late on every track switch and pays a near-full extra rotation
+	// per misprediction. This is the perturbation knob the rundiff
+	// walkthrough uses to manufacture an explainable regression.
+	SeekDeratePPM int64
 }
 
 // Validate reports whether the parameters are usable.
@@ -235,6 +244,32 @@ type Disk struct {
 	// the trace track this drive reports under.
 	tr     *trace.Tracer
 	trName string
+
+	// lane, when non-nil, charges every instant of drive time to exactly
+	// one mechanical state on the utilization timeline.
+	lane *timeline.Lane
+}
+
+// Timeline lane states, in the order registered by SetTimeline. Lane states
+// tile the drive's virtual time exactly: at any instant the drive is idle,
+// discovering a fault, or in one mechanical phase of the current command.
+const (
+	laneIdle = iota
+	laneFault
+	laneTurnaround
+	laneOverhead
+	laneSeek
+	laneHeadSwitch
+	laneSettle
+	laneRotWait
+	laneTransfer
+)
+
+// laneStates names the lane states for the timeline export; index matches
+// the lane* constants.
+var laneStates = []string{
+	"idle", "fault", "turnaround", "overhead", "seek",
+	"head_switch", "settle", "rotate_wait", "transfer",
 }
 
 // New returns a drive with the given parameters bound to env. It panics on
@@ -303,6 +338,16 @@ func (d *Disk) SetTracer(tr *trace.Tracer, name string) {
 	})
 }
 
+// SetTimeline attaches the drive to a utilization-timeline aggregator under
+// the given component track, registering one occupancy lane whose states
+// (idle/fault/turnaround/overhead/seek/head_switch/settle/rotate_wait/
+// transfer) tile the drive's virtual time exactly. A nil aggregator leaves
+// the drive without a lane (all charging is a no-op). Call once per
+// aggregator, before the run.
+func (d *Disk) SetTimeline(a *timeline.Aggregator, name string) {
+	d.lane = a.Lane("disk", name, laneStates)
+}
+
 // ArmPosition returns the arm's resting cylinder and head after the last
 // completed command. Telemetry accessor for the periodic sampler — the
 // rotational phase stays hidden, so this gives drivers nothing the LBA of
@@ -354,18 +399,24 @@ func (d *Disk) fitSeekCurve() {
 	d.seekC = m[2][3] / m[2][2]
 }
 
-// SeekTime returns the arm travel time across dist cylinders.
+// SeekTime returns the actual arm travel time across dist cylinders,
+// including any SeekDeratePPM slowdown. Drivers estimating positioning cost
+// must compute from the Params spec fields, not from here — the gap between
+// the two is exactly the misprediction the derate models.
 func (d *Disk) SeekTime(dist int) time.Duration {
 	if dist <= 0 {
 		return 0
 	}
-	if dist == 1 {
-		return d.params.SeekT2T
+	t := float64(d.params.SeekT2T)
+	if dist > 1 {
+		x := float64(dist)
+		t = d.seekA + d.seekB*math.Sqrt(x) + d.seekC*x
+		if t < float64(d.params.SeekT2T) {
+			t = float64(d.params.SeekT2T)
+		}
 	}
-	x := float64(dist)
-	t := d.seekA + d.seekB*math.Sqrt(x) + d.seekC*x
-	if t < float64(d.params.SeekT2T) {
-		t = float64(d.params.SeekT2T)
+	if d.params.SeekDeratePPM != 0 {
+		t += t * float64(d.params.SeekDeratePPM) / 1e6
 	}
 	return time.Duration(t)
 }
@@ -413,8 +464,10 @@ func (d *Disk) Access(p *sim.Proc, req *Request) Result {
 	if d.inj != nil {
 		if f := d.inj.CommandFault(p.Now(), req.Write, req.LBA, req.Count); f.Err != nil {
 			if f.Delay > 0 {
+				d.lane.Enter(laneFault, int64(p.Now()))
 				p.Sleep(f.Delay)
 			}
+			d.lane.Enter(laneIdle, int64(p.Now()))
 			res.Err = fmt.Errorf("disk %s: %w", d.params.Name, f.Err)
 			res.End = p.Now()
 			d.lastCmdEnd = res.End
@@ -434,6 +487,7 @@ func (d *Disk) Access(p *sim.Proc, req *Request) Result {
 		if p.Now() < earliest {
 			w := earliest.Sub(p.Now())
 			d.phaseEvent(p.Now(), trace.KTurnaround, w, req)
+			d.lane.Enter(laneTurnaround, int64(p.Now()))
 			p.Sleep(w)
 			res.Turnaround = w
 		}
@@ -445,6 +499,7 @@ func (d *Disk) Access(p *sim.Proc, req *Request) Result {
 		overhead = d.params.WriteOverhead
 	}
 	d.phaseEvent(p.Now(), trace.KOverhead, overhead, req)
+	d.lane.Enter(laneOverhead, int64(p.Now()))
 	p.Sleep(overhead)
 	res.Overhead = overhead
 
@@ -472,6 +527,7 @@ func (d *Disk) Access(p *sim.Proc, req *Request) Result {
 			}
 			st := d.SeekTime(dist)
 			d.phaseEvent(p.Now(), trace.KSeek, st, req)
+			d.lane.Enter(laneSeek, int64(p.Now()))
 			p.Sleep(st)
 			res.Seek += st
 			d.armCyl = a.Cyl
@@ -479,6 +535,7 @@ func (d *Disk) Access(p *sim.Proc, req *Request) Result {
 		// Head switch.
 		if a.Head != d.armHead {
 			d.phaseEvent(p.Now(), trace.KHeadSwitch, d.params.HeadSwitch, req)
+			d.lane.Enter(laneHeadSwitch, int64(p.Now()))
 			p.Sleep(d.params.HeadSwitch)
 			res.Switch += d.params.HeadSwitch
 			d.armHead = a.Head
@@ -486,18 +543,21 @@ func (d *Disk) Access(p *sim.Proc, req *Request) Result {
 		// Write settle.
 		if req.Write && d.params.WriteSettle > 0 {
 			d.phaseEvent(p.Now(), trace.KSettle, d.params.WriteSettle, req)
+			d.lane.Enter(laneSettle, int64(p.Now()))
 			p.Sleep(d.params.WriteSettle)
 			res.Settle += d.params.WriteSettle
 		}
 		// Rotate to the start of the first sector of the extent.
 		rw := d.rotateWait(p.Now(), g.SectorAngle(a))
 		d.phaseEvent(p.Now(), trace.KRotWait, rw, req)
+		d.lane.Enter(laneRotWait, int64(p.Now()))
 		p.Sleep(rw)
 		res.Rotate += rw
 
 		// Transfer (at the actual spindle speed, drift included).
 		secTime := d.rotPeriod / time.Duration(spt)
 		transferStart := p.Now()
+		d.lane.Enter(laneTransfer, int64(transferStart))
 		for i := 0; i < extent; i++ {
 			p.Sleep(secTime)
 			res.Transfer += secTime
@@ -509,6 +569,7 @@ func (d *Disk) Access(p *sim.Proc, req *Request) Result {
 			// must tolerate).
 			if d.inj != nil {
 				if err := d.inj.SectorFault(p.Now(), req.Write, cur); err != nil {
+					d.lane.Enter(laneIdle, int64(p.Now()))
 					res.Err = fmt.Errorf("disk %s: lba %d: %w", d.params.Name, cur, err)
 					res.Transferred = req.Count - remaining + i
 					res.End = p.Now()
@@ -543,6 +604,7 @@ func (d *Disk) Access(p *sim.Proc, req *Request) Result {
 		remaining -= extent
 	}
 
+	d.lane.Enter(laneIdle, int64(p.Now()))
 	res.Transferred = req.Count
 	res.End = p.Now()
 	d.lastCmdEnd = res.End

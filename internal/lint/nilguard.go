@@ -36,6 +36,7 @@ var handleTypes = map[string]map[string]bool{
 	"tracklog/internal/trace":     {"Tracer": true},
 	"tracklog/internal/span":      {"Recorder": true, "Req": true},
 	"tracklog/internal/telemetry": {"Registry": true, "Counter": true, "Gauge": true, "Histogram": true},
+	"tracklog/internal/timeline":  {"Aggregator": true, "Lane": true, "Meter": true, "Mark": true},
 }
 
 // installedHandles is the subset of handle types with instance lifetime:
@@ -50,6 +51,10 @@ var installedHandles = map[string]bool{
 	"telemetry.Counter":   true,
 	"telemetry.Gauge":     true,
 	"telemetry.Histogram": true,
+	"timeline.Aggregator": true,
+	"timeline.Lane":       true,
+	"timeline.Meter":      true,
+	"timeline.Mark":       true,
 }
 
 func runNilGuard(pass *Pass) error {

@@ -17,3 +17,7 @@ func TestNilGuardConsumer(t *testing.T) {
 func TestNilGuardHomeTelemetry(t *testing.T) {
 	RunFixture(t, "testdata/src/tracklog/internal/telemetry", NilGuard)
 }
+
+func TestNilGuardHomeTimeline(t *testing.T) {
+	RunFixture(t, "testdata/src/tracklog/internal/timeline", NilGuard)
+}

@@ -1,0 +1,112 @@
+// Package timeline is a nilguard home-package fixture: its normalized path
+// is tracklog/internal/timeline, so Aggregator, Lane, Meter and Mark carry
+// the nil-is-disabled contract — a nil aggregator means "timelines off" at
+// zero cost on every state transition, so exported pointer-receiver methods
+// must be nil-receiver safe, and (being installed handles) their fields may
+// only be stored from Set*/New* functions.
+package timeline
+
+// Aggregator mimics the real bucketed state-occupancy aggregator.
+type Aggregator struct {
+	bucketNS int64
+}
+
+// Lane mimes the exclusive-state occupancy handle.
+type Lane struct {
+	agg *Aggregator
+	cur int
+}
+
+// Meter mimics the time-weighted level handle.
+type Meter struct {
+	level float64
+}
+
+// Mark mimics the per-bucket event counter handle.
+type Mark struct {
+	n int64
+}
+
+// New is the constructor; handles are born here.
+func New(bucketNS int64) *Aggregator { return &Aggregator{bucketNS: bucketNS} }
+
+// BucketNS opens with the canonical guard.
+func (a *Aggregator) BucketNS() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.bucketNS
+}
+
+// Lane is a handle factory: guard, then state.
+func (a *Aggregator) Lane(component, track string) *Lane {
+	if a == nil {
+		return nil
+	}
+	a.bucketNS += 0
+	return &Lane{agg: a}
+}
+
+// Finish reads a field with no guard: the contract violation.
+func (a *Aggregator) Finish(at int64) int64 { // want `exported method \(\*Aggregator\)\.Finish touches receiver state without a nil guard`
+	return at / a.bucketNS
+}
+
+// Enter uses the short-circuit form of the guard.
+func (l *Lane) Enter(state int, at int64) {
+	if l == nil || state < 0 {
+		return
+	}
+	l.cur = state
+}
+
+// Set guards too late: the violation fires on the first field read.
+func (m *Meter) Set(v float64, at int64) { // want `exported method \(\*Meter\)\.Set touches receiver state`
+	old := m.level
+	if m == nil || old == v {
+		return
+	}
+	m.level = v
+}
+
+// Add only calls other (checked) methods: safe without its own guard.
+func (m *Meter) Add(d float64, at int64) {
+	m.Set(d, at)
+}
+
+// Inc uses an inline guard region instead of an early return.
+func (k *Mark) Inc(at int64) {
+	if k != nil {
+		k.n++
+	}
+}
+
+// component is the consumer half inside the home package: handle fields
+// still only move through Set*/New* accessors.
+type component struct {
+	agg   *Aggregator
+	depth *Meter
+}
+
+// SetTimeline is a sanctioned install site.
+func (x *component) SetTimeline(a *Aggregator) {
+	x.agg = a
+	x.depth = a.Lane("sched", "q").meter()
+}
+
+func (l *Lane) meter() *Meter {
+	if l == nil {
+		return nil
+	}
+	return &Meter{}
+}
+
+// swap reinstalls a handle mid-run: the store-rule violation.
+func (x *component) swap(a *Aggregator) {
+	x.agg = a // want `handle field agg \(timeline\.Aggregator\) is assigned outside a Set\*/New\* accessor`
+}
+
+// read dereferences a handle, defeating nil-is-disabled.
+func read(m *Meter) Meter {
+	return *m // want `dereferencing a timeline\.Meter handle defeats the nil-is-disabled contract`
+}

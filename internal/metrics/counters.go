@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"tracklog/internal/telemetry"
 )
 
 // Counters is a small named-counter set used to export fault, retry, and
@@ -107,16 +109,23 @@ func (c *Counters) Total() int64 {
 }
 
 // String renders "name=value" pairs sorted by name.
+//
+// Deprecated exposition path: the hand-rolled formatting this method used to
+// carry now lives in the unified telemetry exposition (Registry.WriteKV).
+// String remains as a shim — it registers the counters in a transient
+// telemetry.Registry and renders through it, byte-for-byte compatible with
+// the historical output — so callers needing new formats should register
+// with a telemetry.Registry directly instead of extending this method.
 func (c *Counters) String() string {
-	var b strings.Builder
-	for i, n := range c.Names() {
-		if i > 0 {
-			b.WriteByte(' ')
-		}
-		fmt.Fprintf(&b, "%s=%d", n, c.vals[n])
+	reg := telemetry.NewRegistry()
+	for _, n := range c.Names() {
+		v := c.vals[n]
+		reg.CounterFunc(n, "", func() int64 { return v })
 	}
-	if b.Len() == 0 {
-		return "(none)"
+	var b strings.Builder
+	if err := reg.WriteKV(&b); err != nil {
+		// strings.Builder never errors; keep the signature honest anyway.
+		return fmt.Sprintf("counters: %v", err)
 	}
 	return b.String()
 }

@@ -19,6 +19,7 @@ import (
 	"tracklog/internal/qos"
 	"tracklog/internal/sim"
 	"tracklog/internal/span"
+	"tracklog/internal/timeline"
 	"tracklog/internal/trace"
 )
 
@@ -66,6 +67,11 @@ type Array struct {
 
 	rec     *span.Recorder
 	recName string
+
+	// Timeline instruments (nil = disabled): stripe-lock occupancy as a
+	// time-weighted level and scrubber activity per bucket.
+	tlLocks                                   *timeline.Meter
+	tlScrubPasses, tlScrubRepairs, tlScrubYld *timeline.Mark
 }
 
 // Stats counts array activity.
@@ -157,6 +163,18 @@ func (a *Array) SetTracer(tr *trace.Tracer, name string) {
 func (a *Array) SetRecorder(rec *span.Recorder, name string) {
 	a.rec = rec
 	a.recName = name
+}
+
+// SetTimeline attaches the array to a utilization-timeline aggregator under
+// the given track: stripe-lock occupancy as a time-weighted level, plus
+// per-bucket scrub passes, repairs, and yields. Member devices attach their
+// own lanes through whoever built them. A nil aggregator disables all of
+// it. Call once per aggregator, before the run.
+func (a *Array) SetTimeline(tl *timeline.Aggregator, name string) {
+	a.tlLocks = tl.Meter("raid", name, "stripe_locks_held")
+	a.tlScrubPasses = tl.Mark("raid", name, "scrub_passes")
+	a.tlScrubRepairs = tl.Mark("raid", name, "scrub_repairs")
+	a.tlScrubYld = tl.Mark("raid", name, "scrub_yields")
 }
 
 // SetQoS applies an overload policy to the array: client operations admit
@@ -304,10 +322,12 @@ func (a *Array) lockStripe(p *sim.Proc, stripe int64) {
 		a.lockC.Wait(p)
 	}
 	a.locked[stripe] = true
+	a.tlLocks.Set(float64(len(a.locked)), int64(p.Now()))
 }
 
-func (a *Array) unlockStripe(stripe int64) {
+func (a *Array) unlockStripe(p *sim.Proc, stripe int64) {
 	delete(a.locked, stripe)
+	a.tlLocks.Set(float64(len(a.locked)), int64(p.Now()))
 	a.lockC.Broadcast()
 }
 
@@ -491,7 +511,7 @@ func (a *Array) ReadOpts(p *sim.Proc, lba int64, count int, opts blockdev.Option
 		dev, devChunk, stripe := a.chunkLoc(logical)
 		a.lockChild(p, rq, stripe)
 		buf, err := a.subRead(p, rq, dev, devChunk, off, n, opts)
-		a.unlockStripe(stripe)
+		a.unlockStripe(p, stripe)
 		if err != nil {
 			rq.Finish(int64(p.Now()), true)
 			return nil, err
@@ -551,7 +571,7 @@ func (a *Array) WriteOpts(p *sim.Proc, lba int64, count int, data []byte, opts b
 			// Small write(s): read-modify-write per touched chunk.
 			err = a.smallWrite(p, rq, lba, this, data[:this*geom.SectorSize], opts)
 		}
-		a.unlockStripe(stripe)
+		a.unlockStripe(p, stripe)
 		if err != nil {
 			rq.Finish(int64(p.Now()), true)
 			return err

@@ -58,6 +58,7 @@ func (a *Array) Scrub(p *sim.Proc) (*ScrubReport, error) {
 			if a.ctl != nil {
 				if aerr := a.ctl.Admit(p, scrubOpts()); aerr != nil {
 					a.stats.ScrubYields++
+					a.tlScrubYld.Inc(int64(p.Now()))
 					continue
 				}
 			}
@@ -65,7 +66,7 @@ func (a *Array) Scrub(p *sim.Proc) (*ScrubReport, error) {
 			stripe := lba / int64(a.chunk)
 			a.lockStripe(p, stripe)
 			err := a.scrubDevChunk(p, dev, lba, rep)
-			a.unlockStripe(stripe)
+			a.unlockStripe(p, stripe)
 			if a.ctl != nil {
 				a.ctl.Release()
 			}
@@ -82,6 +83,7 @@ func (a *Array) Scrub(p *sim.Proc) (*ScrubReport, error) {
 		}
 	}
 	a.stats.ScrubPasses++
+	a.tlScrubPasses.Inc(int64(p.Now()))
 	a.stats.ScrubRepaired += rep.Repaired
 	a.stats.ScrubUnrepairable += rep.Unrepairable
 	return rep, nil
@@ -158,6 +160,7 @@ func (a *Array) repairSector(p *sim.Proc, dev int, slba int64, rep *ScrubReport)
 	case werr == nil:
 		a.clearBad(dev, slba, 1)
 		rep.Repaired++
+		a.tlScrubRepairs.Inc(int64(p.Now()))
 		if a.tr != nil {
 			a.tr.Emit(trace.Event{At: int64(p.Now()), Kind: trace.KScrubRepair,
 				Track: a.trName, LBA: slba, Count: 1, A: int64(dev)})

@@ -16,6 +16,7 @@ import (
 	"tracklog/internal/blockdev"
 	"tracklog/internal/disk"
 	"tracklog/internal/sim"
+	"tracklog/internal/timeline"
 	"tracklog/internal/trace"
 )
 
@@ -131,6 +132,12 @@ type Queue struct {
 
 	tr     *trace.Tracer
 	trName string
+
+	// Timeline instruments (nil = disabled): pending-depth level, per-bucket
+	// shed/expiry counts, and nanoseconds of queue wait charged at dispatch.
+	tlDepth              *timeline.Meter
+	tlShed, tlExpired    *timeline.Mark
+	tlWaitNS, tlDispatch *timeline.Mark
 }
 
 // New creates a queue over d with the given policy and starts its worker
@@ -156,6 +163,24 @@ func (q *Queue) Disk() *disk.Disk { return q.disk }
 func (q *Queue) SetTracer(tr *trace.Tracer, name string) {
 	q.tr = tr
 	q.trName = name
+}
+
+// SetTimeline attaches the queue to a utilization-timeline aggregator under
+// the given track: pending depth as a time-weighted level, shed and expiry
+// counts, and queue-wait nanoseconds charged to the bucket each request is
+// dispatched in. A nil aggregator disables all of it. Call once per
+// aggregator, before the run.
+func (q *Queue) SetTimeline(a *timeline.Aggregator, name string) {
+	q.tlDepth = a.Meter("sched", name, "queue_depth")
+	q.tlShed = a.Mark("sched", name, "shed")
+	q.tlExpired = a.Mark("sched", name, "expired")
+	q.tlWaitNS = a.Mark("sched", name, "wait_ns")
+	q.tlDispatch = a.Mark("sched", name, "dispatches")
+}
+
+// noteDepth records the current pending depth on the timeline.
+func (q *Queue) noteDepth(now sim.Time) {
+	q.tlDepth.Set(float64(q.Depth()), int64(now))
 }
 
 // Stats returns a copy of the queue counters.
@@ -246,11 +271,13 @@ func (q *Queue) Submit(req *Request) {
 				q.tr.Emit(trace.Event{At: int64(req.Queued), Kind: trace.KShed, Track: q.trName,
 					LBA: req.LBA, Count: req.Count, A: int64(q.Depth()), B: writeFlag(req.Write)})
 			}
+			q.tlShed.Inc(int64(req.Queued))
 			q.fail(req, fmt.Errorf("sched: queue full (depth %d): %w", q.Depth(), blockdev.ErrOverload))
 			return
 		}
 		q.remove(victim)
 		q.stats.Shed++
+		q.tlShed.Inc(int64(q.env.Now()))
 		if q.tr != nil {
 			q.tr.Emit(trace.Event{At: int64(q.env.Now()), Kind: trace.KShed, Track: q.trName,
 				LBA: victim.LBA, Count: victim.Count, A: int64(q.Depth()), B: writeFlag(victim.Write)})
@@ -269,6 +296,7 @@ func (q *Queue) Submit(req *Request) {
 		q.stats.MaxDepth = d
 	}
 	q.stats.Submitted++
+	q.noteDepth(req.Queued)
 	if q.tr != nil {
 		q.tr.Emit(trace.Event{At: int64(req.Queued), Kind: trace.KEnqueue, Track: q.trName,
 			LBA: req.LBA, Count: req.Count, A: int64(q.Depth()), B: writeFlag(req.Write)})
@@ -293,6 +321,7 @@ func (q *Queue) expireStale(now sim.Time) {
 		for _, r := range *list {
 			if r.Deadline != 0 && now >= r.Deadline {
 				q.stats.Expired++
+				q.tlExpired.Inc(int64(now))
 				if q.tr != nil {
 					q.tr.Emit(trace.Event{At: int64(now), Kind: trace.KDeadline, Track: q.trName,
 						LBA: r.LBA, Count: r.Count, B: writeFlag(r.Write)})
@@ -304,6 +333,7 @@ func (q *Queue) expireStale(now sim.Time) {
 		}
 		*list = kept
 	}
+	q.noteDepth(now)
 }
 
 // worker is the queue's dispatch loop.
@@ -318,6 +348,9 @@ func (q *Queue) worker(p *sim.Proc) {
 		}
 		req := q.pick()
 		q.stats.QueueWait += p.Now().Sub(req.Queued)
+		q.noteDepth(p.Now())
+		q.tlDispatch.Inc(int64(p.Now()))
+		q.tlWaitNS.Add(int64(p.Now().Sub(req.Queued)), int64(p.Now()))
 		if q.tr != nil {
 			q.tr.Emit(trace.Event{At: int64(p.Now()), Kind: trace.KDequeue, Track: q.trName,
 				LBA: req.LBA, Count: req.Count, A: int64(q.Depth()), B: int64(p.Now().Sub(req.Queued))})

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"tracklog/internal/telemetry"
+	"tracklog/internal/timeline"
 	"tracklog/internal/trace"
 )
 
@@ -106,6 +107,9 @@ type Env struct {
 	// dispatch (attached via SetMetrics).
 	kstats         KernelStats
 	mDispatchDepth *telemetry.Histogram
+	// tlDispatch, when non-nil, counts dispatched events per virtual-time
+	// bucket (attached via SetTimeline).
+	tlDispatch *timeline.Mark
 
 	// kernelPanic holds a panic propagated from a process goroutine; Run
 	// re-panics with it on the caller's goroutine so failures surface in
@@ -128,6 +132,14 @@ func (e *Env) Now() Time { return e.now }
 // emits process schedule/block events; tracing is purely observational and
 // never changes virtual-time behaviour.
 func (e *Env) SetTracer(tr *trace.Tracer) { e.tracer = tr }
+
+// SetTimeline attaches the kernel's own dispatch activity to a
+// utilization-timeline aggregator: events dispatched per virtual-time bucket
+// under ("sim", "kernel"). A nil aggregator disables it; observation never
+// changes virtual-time behaviour.
+func (e *Env) SetTimeline(a *timeline.Aggregator) {
+	e.tlDispatch = a.Mark("sim", "kernel", "events_dispatched")
+}
 
 // Tracer returns the attached tracer (nil when tracing is disabled).
 func (e *Env) Tracer() *trace.Tracer { return e.tracer }
@@ -280,6 +292,7 @@ func (e *Env) RunUntil(deadline Time) Time {
 		e.now = next.at
 		e.kstats.EventsDispatched++
 		e.mDispatchDepth.Observe(float64(e.queue.Len() + 1))
+		e.tlDispatch.Inc(int64(e.now))
 		e.step(next.proc)
 		if e.kernelPanic != nil {
 			p := e.kernelPanic

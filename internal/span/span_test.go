@@ -241,6 +241,65 @@ func TestExplainRetryAndErrorCauses(t *testing.T) {
 	}
 }
 
+// The QoS overload outcomes outrank every phase-based story: a shed or
+// deadline-expired request is explained by the overload even when some
+// mechanical phase dominated its latency, and a throttle stall names the
+// log-pressure backoff. These causes were previously asserted only through
+// the overload experiment; this pins them at the unit level.
+func TestExplainTailQoSCauses(t *testing.T) {
+	r := NewRecorder(0)
+
+	// Shed at admission: zero-duration marker, A = queue depth at refusal.
+	qs := r.Start(KWrite, "trail", "data0", 0, 2, 1000)
+	qs.Point(PShed, 1000, 12, 0)
+	qs.Finish(1000, true)
+
+	// Deadline exceeded while throttled: the request spent its budget in a
+	// throttle stall before being abandoned.
+	qt := r.Start(KWrite, "trail", "data0", 8, 2, 2000)
+	qt.ChildAB(PThrottle, 2000, 9_002_000, 1<<20, 0)
+	qt.Point(PDeadline, 9_002_000, 2_000_000, 0)
+	qt.Finish(9_002_000, true)
+
+	// Deadline exceeded without a throttle span: plain overload queueing.
+	qd := r.Start(KWrite, "trail", "data0", 16, 2, 3000)
+	qd.ChildAB(PQueue, 3000, 8_003_000, 9, 0)
+	qd.Point(PDeadline, 8_003_000, 1_000_000, 0)
+	qd.Finish(8_003_000, true)
+
+	// Throttled but completed: the stall dominates the latency.
+	qc := r.Start(KWrite, "trail", "data0", 24, 2, 4000)
+	qc.ChildAB(PThrottle, 4000, 6_004_000, 1<<20, 0)
+	qc.Child(PQueue, 6_004_000, 6_004_100)
+	qc.Command(CommandBreakdown{Start: 6_004_100, Overhead: 300, RotWait: 500, Transfer: 400})
+	qc.Finish(6_005_300, false)
+
+	rep := ExplainTail(r.Requests(), 1.0)
+	byID := map[int64]TailEntry{}
+	for _, e := range rep.Entries {
+		byID[e.Req.ID] = e
+	}
+	for id, want := range map[int64]string{
+		1: "shed at admission (overload)",
+		2: "deadline exceeded while throttled (overload)",
+		3: "deadline exceeded under overload",
+		4: "throttled against write-back progress (log pressure)",
+	} {
+		if got := byID[id].Cause; got != want {
+			t.Errorf("request %d cause = %q, want %q", id, got, want)
+		}
+	}
+	if got := rep.Causes.Get("shed at admission (overload)"); got != 1 {
+		t.Errorf("cause histogram shed count = %d, want 1", got)
+	}
+	// The shed request's story is the overload even though no phase has any
+	// duration; the throttled-but-completed one even though PThrottle
+	// dominates legitimately.
+	if byID[2].Dominant != PThrottle {
+		t.Errorf("throttled-expired dominant = %v, want throttle", byID[2].Dominant)
+	}
+}
+
 // Chrome export must be deterministic and structurally sound (async pairs
 // balance; tracecheck does the deeper validation in CI).
 func TestWriteChromeDeterministic(t *testing.T) {

@@ -15,6 +15,7 @@ import (
 	"tracklog/internal/sched"
 	"tracklog/internal/sim"
 	"tracklog/internal/span"
+	"tracklog/internal/timeline"
 	"tracklog/internal/trace"
 )
 
@@ -89,6 +90,15 @@ func (d *Device) SetTracer(tr *trace.Tracer, name string) {
 	d.trName = name
 	d.queue.SetTracer(tr, name)
 	d.queue.Disk().SetTracer(tr, name)
+}
+
+// SetTimeline attaches the device's drive (mechanical-state lane) and
+// scheduler queue (depth/wait/shed series) to a utilization-timeline
+// aggregator under the given track. A nil aggregator disables both. Call
+// once per aggregator, before the run.
+func (d *Device) SetTimeline(a *timeline.Aggregator, name string) {
+	d.queue.SetTimeline(a, name)
+	d.queue.Disk().SetTimeline(a, name)
 }
 
 // Stats returns a copy of the fault-handling counters.

@@ -1,0 +1,45 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WriteKV renders every scalar series (counters and gauges; histograms are
+// skipped) as space-separated "name=value" pairs sorted by the raw
+// registered name, followed by a trailing newline omitted — the legacy
+// internal/metrics.Counters one-line exposition. Names render exactly as
+// registered, before Prometheus sanitization, so counter sets whose names
+// carry dots ("raid.scrub_passes") keep their historical bytes. An empty or
+// nil registry renders "(none)".
+func (r *Registry) WriteKV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	ms := make([]*metric, 0, r.Len())
+	for _, m := range r.sorted() {
+		if m.typ == typeHistogram {
+			continue
+		}
+		ms = append(ms, m)
+	}
+	sort.SliceStable(ms, func(i, j int) bool { return ms[i].raw < ms[j].raw })
+	if len(ms) == 0 {
+		bw.WriteString("(none)")
+		return bw.Flush()
+	}
+	for i, m := range ms {
+		if i > 0 {
+			bw.WriteByte(' ')
+		}
+		bw.WriteString(m.raw)
+		bw.WriteByte('=')
+		if m.typ == typeCounter {
+			fmt.Fprintf(bw, "%d", int64(m.value()))
+		} else {
+			bw.WriteString(strconv.FormatFloat(m.value(), 'g', -1, 64))
+		}
+	}
+	return bw.Flush()
+}

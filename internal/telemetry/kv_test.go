@@ -1,0 +1,37 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// WriteKV renders the legacy one-line key=value exposition: raw (as
+// registered) names, sorted, counters as integers, gauges in 'g' float
+// form, histograms skipped, "(none)" when empty.
+func TestWriteKV(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zeta", "h").Add(1)
+	r.Counter("trail.mid", "h").Add(3) // raw name keeps the dot
+	g := r.Gauge("alpha", "h")
+	g.Set(2.5)
+	r.Histogram("hist", "h", []float64{1}).Observe(0.5) // must not render
+
+	var sb strings.Builder
+	if err := r.WriteKV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "alpha=2.5 trail.mid=3 zeta=1"
+	if sb.String() != want {
+		t.Errorf("WriteKV = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestWriteKVEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := NewRegistry().WriteKV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != "(none)" {
+		t.Errorf("empty registry renders %q, want %q", sb.String(), "(none)")
+	}
+}

@@ -126,15 +126,39 @@ func TestExpositionOrderIsSorted(t *testing.T) {
 }
 
 func TestParsePromErrors(t *testing.T) {
-	for _, tc := range []struct{ name, in string }{
-		{"no value", "just_a_name\n"},
-		{"bad value", "x notanumber\n"},
-		{"duplicate", "x 1\nx 2\n"},
-		{"unterminated labels", `x{k="v" 1` + "\n"},
+	for _, tc := range []struct {
+		name, in string
+		// wantErr is a substring of the error message: every parse error
+		// carries the 1-based line number of the offending sample.
+		wantErr string
+	}{
+		{"no value", "just_a_name\n", `prom line 1: no value in "just_a_name"`},
+		{"bad value", "x notanumber\n", "prom line 1:"},
+		{"duplicate", "x 1\nx 2\n", `prom line 2: duplicate metric "x"`},
+		{"duplicate labeled series", `x{k="v"} 1` + "\n" + `x{k="v"} 2` + "\n", `prom line 2: duplicate metric "x{k=\"v\"}"`},
+		{"duplicate after comments", "# HELP x h\nx 1\n\n# TYPE x counter\nx 2\n", `prom line 5: duplicate metric "x"`},
+		{"unterminated labels", `x{k="v" 1` + "\n", "prom line 1:"},
 	} {
-		if _, err := ParseProm(strings.NewReader(tc.in)); err == nil {
+		_, err := ParseProm(strings.NewReader(tc.in))
+		if err == nil {
 			t.Errorf("%s: no error for %q", tc.name, tc.in)
+			continue
 		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not contain %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+// Distinct label sets on one name are distinct samples, not duplicates, and
+// a duplicate-free export round-trips.
+func TestParsePromAcceptsDistinctLabelSets(t *testing.T) {
+	vals, err := ParseProm(strings.NewReader(`x{k="a"} 1` + "\n" + `x{k="b"} 2` + "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[`x{k="a"}`] != 1 || vals[`x{k="b"}`] != 2 {
+		t.Errorf("parsed %v", vals)
 	}
 }
 

@@ -63,6 +63,7 @@ func (t metricType) String() string {
 // metric is one registered series.
 type metric struct {
 	name   string // sanitized
+	raw    string // as registered, before sanitization (WriteKV exposition)
 	help   string
 	typ    metricType
 	labels []Label // keys sanitized, sorted
@@ -136,7 +137,7 @@ func newMetric(name, help string, typ metricType, labels []Label, backing any) *
 		ls[i] = Label{Key: PromName(l.Key), Value: l.Value}
 	}
 	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
-	m := &metric{name: PromName(name), help: help, typ: typ, labels: ls}
+	m := &metric{name: PromName(name), raw: name, help: help, typ: typ, labels: ls}
 	switch b := backing.(type) {
 	case *Counter:
 		m.counter = b

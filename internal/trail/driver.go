@@ -13,6 +13,7 @@ import (
 	"tracklog/internal/sched"
 	"tracklog/internal/sim"
 	"tracklog/internal/span"
+	"tracklog/internal/timeline"
 	"tracklog/internal/trace"
 )
 
@@ -328,6 +329,12 @@ type Driver struct {
 	// probeNames are the per-data-disk component names probe events report
 	// under (always populated, unlike the tracer/recorder name lists).
 	probeNames []string
+
+	// Timeline instruments (nil = disabled): driver-level levels and
+	// per-bucket event counts. Device lanes live on the disks and queues.
+	tlLogQ, tlStaged, tlFlights      *timeline.Meter
+	tlShed, tlThrottle, tlThrottleNS *timeline.Mark
+	tlStagingFlush, tlWriteBacks     *timeline.Mark
 }
 
 // NewDriver initializes the Trail driver over one formatted log disk, the
@@ -472,6 +479,33 @@ func (d *Driver) SetRecorder(rec *span.Recorder) {
 // Recorder returns the attached span recorder (nil when detached).
 func (d *Driver) Recorder() *span.Recorder { return d.rec }
 
+// SetTimeline attaches a utilization-timeline aggregator to the driver and
+// every device beneath it: log disks get mechanical-state lanes as "logN",
+// data disks and their scheduler queues as "dataN", and the driver itself
+// contributes its shared levels (log-queue depth, staged bytes, in-flight
+// write-backs) and per-bucket event counts (sheds, throttle stalls and
+// nanoseconds, staging flushes, completed write-backs) under the
+// trail/driver track. A nil aggregator leaves everything disabled. Call
+// once per aggregator, before the run.
+func (d *Driver) SetTimeline(a *timeline.Aggregator) {
+	d.tlLogQ = a.Meter("trail", "driver", "log_queue_depth")
+	d.tlStaged = a.Meter("trail", "driver", "staged_bytes")
+	d.tlFlights = a.Meter("trail", "driver", "wb_flights")
+	d.tlShed = a.Mark("trail", "driver", "shed_writes")
+	d.tlThrottle = a.Mark("trail", "driver", "throttle_stalls")
+	d.tlThrottleNS = a.Mark("trail", "driver", "throttle_ns")
+	d.tlStagingFlush = a.Mark("trail", "driver", "staging_flush")
+	d.tlWriteBacks = a.Mark("trail", "driver", "writebacks")
+	for _, ld := range d.logs {
+		ld.disk.SetTimeline(a, fmt.Sprintf("log%d", ld.idx))
+	}
+	for i, dd := range d.dataDisks {
+		name := fmt.Sprintf("data%d", i)
+		dd.SetTimeline(a, name)
+		d.dataQueues[i].SetTimeline(a, name)
+	}
+}
+
 // Stats returns a copy of the driver counters.
 func (d *Driver) Stats() Stats { return d.stats }
 
@@ -567,6 +601,7 @@ func (dv *DataDev) WriteOpts(p *sim.Proc, lba int64, count int, data []byte, opt
 // a zero-latency span tree whose single marker names the shed.
 func (d *Driver) shedWrite(p *sim.Proc, devIdx int, lba int64, count int) error {
 	d.stats.ShedWrites++
+	d.tlShed.Inc(int64(p.Now()))
 	if d.tr != nil {
 		d.tr.Emit(trace.Event{At: int64(p.Now()), Kind: trace.KShed, Track: "trail",
 			LBA: lba, Count: count, A: int64(len(d.logQ)), B: 1})
@@ -601,6 +636,7 @@ func (d *Driver) throttleWrite(p *sim.Proc, devIdx int, lba int64, count int, de
 	}
 	start := p.Now()
 	d.stats.ThrottleStalls++
+	d.tlThrottle.Inc(int64(start))
 	for d.StagedBytes() >= low && d.failed == nil && !d.closed {
 		if deadline != 0 && p.Now() >= deadline {
 			d.stats.DeadlineExceeded++
@@ -620,6 +656,7 @@ func (d *Driver) throttleWrite(p *sim.Proc, devIdx int, lba int64, count int, de
 func (d *Driver) recordThrottle(p *sim.Proc, devIdx int, lba int64, count int,
 	start sim.Time, staged int64, expired bool, deadline sim.Time) {
 	dur := p.Now().Sub(start)
+	d.tlThrottleNS.Add(int64(dur), int64(p.Now()))
 	if d.tr != nil {
 		d.tr.Emit(trace.Event{At: int64(start), Dur: int64(dur), Kind: trace.KThrottle,
 			Track: "trail", LBA: lba, Count: count, A: staged})
@@ -697,6 +734,7 @@ func (d *Driver) write(p *sim.Proc, devIdx int, lba int64, count int, data []byt
 	if n := len(d.logQ); n > d.stats.MaxLogQueue {
 		d.stats.MaxLogQueue = n
 	}
+	d.tlLogQ.Set(float64(len(d.logQ)), int64(p.Now()))
 	d.logQCond.Signal()
 	var firstErr error
 	for _, pw := range waits {
@@ -1112,6 +1150,7 @@ func (d *Driver) takeBatch(now sim.Time, capacity int) []*pendingWrite {
 		total += nxt.count
 		d.logQ = d.logQ[1:]
 	}
+	d.tlLogQ.Set(float64(len(d.logQ)), int64(now))
 	return batch
 }
 

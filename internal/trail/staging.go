@@ -96,6 +96,7 @@ func (d *Driver) stage(pw *pendingWrite, rec *record) {
 		e.inQueue = true
 		d.wbQueues[pw.devIdx].Push(key)
 	}
+	d.tlStaged.Set(float64(d.StagedBytes()), int64(d.env.Now()))
 }
 
 // wbWindow is the number of write-backs kept in flight per data disk, so
@@ -157,10 +158,14 @@ func (d *Driver) writebackLoop(p *sim.Proc, devIdx int) {
 				e.spanIDs = nil
 			}
 			d.dataQueues[devIdx].Submit(f.req)
+			d.tlFlights.Add(1, int64(p.Now()))
 			// A write-back flight has left staging for the data disk's
 			// scheduler: a crash-exploration flight boundary.
 			d.env.EmitProbe(p, sim.ProbeWBStart, d.probeNames[devIdx], key.lba, e.count)
 			flights = append(flights, f)
+		}
+		if len(flights) > 0 {
+			d.tlStagingFlush.Add(int64(len(flights)), int64(p.Now()))
 		}
 		if d.tr != nil && len(flights) > 0 {
 			d.tr.Emit(trace.Event{At: int64(p.Now()), Kind: trace.KStagingFlush,
@@ -195,6 +200,7 @@ func (d *Driver) writebackLoop(p *sim.Proc, devIdx int) {
 				d.stats.AbandonedWritebacks++
 				e := f.entry
 				e.refs = append(f.refs, e.refs...)
+				d.tlFlights.Add(-1, int64(p.Now()))
 				continue
 			}
 			if f.rq != nil {
@@ -203,6 +209,7 @@ func (d *Driver) writebackLoop(p *sim.Proc, devIdx int) {
 				f.rq.Finish(int64(res.End), false)
 			}
 			d.stats.WriteBacks++
+			d.tlWriteBacks.Inc(int64(p.Now()))
 			// The flight's data is on the data disk; its log records are
 			// about to be credited: the closing flight boundary.
 			d.env.EmitProbe(p, sim.ProbeWBEnd, d.probeNames[devIdx], f.key.lba, f.req.Count)
@@ -213,7 +220,9 @@ func (d *Driver) writebackLoop(p *sim.Proc, devIdx int) {
 			e := f.entry
 			if cur := d.staging[f.key]; cur == e && e.version == f.ver && len(e.refs) == 0 && !e.inQueue {
 				delete(d.staging, f.key)
+				d.tlStaged.Set(float64(d.StagedBytes()), int64(p.Now()))
 			}
+			d.tlFlights.Add(-1, int64(p.Now()))
 			// Write-back progress: wake foreground writes throttled on the
 			// staging high-water mark so they can re-check the level.
 			d.wbProgress.Broadcast()

@@ -19,6 +19,7 @@ import (
 	"tracklog/internal/blockdev"
 	"tracklog/internal/geom"
 	"tracklog/internal/sim"
+	"tracklog/internal/timeline"
 )
 
 // ErrLogFull means the log region is exhausted.
@@ -91,6 +92,11 @@ type Log struct {
 	flushDone *sim.Cond
 
 	stats Stats
+
+	// Timeline instruments (nil = disabled): buffered bytes as a level,
+	// group-commit activity per bucket.
+	tlBuffered                       *timeline.Meter
+	tlAppends, tlFlushes, tlFlushedS *timeline.Mark
 }
 
 // New returns an empty log. env is used for internal synchronization.
@@ -113,6 +119,17 @@ func New(env *sim.Env, cfg Config) (*Log, error) {
 // Stats returns a copy of the counters.
 func (l *Log) Stats() Stats { return l.stats }
 
+// SetTimeline attaches the log to a utilization-timeline aggregator under
+// the given track: the unflushed buffer as a time-weighted byte level, plus
+// per-bucket appends, group-commit flushes, and flushed sectors. A nil
+// aggregator disables all of it. Call once per aggregator, before the run.
+func (l *Log) SetTimeline(a *timeline.Aggregator, name string) {
+	l.tlBuffered = a.Meter("wal", name, "buffered_bytes")
+	l.tlAppends = a.Mark("wal", name, "appends")
+	l.tlFlushes = a.Mark("wal", name, "flushes")
+	l.tlFlushedS = a.Mark("wal", name, "flushed_sectors")
+}
+
 // DurableLSN returns the byte offset up to which the log is durable.
 func (l *Log) DurableLSN() int64 { return l.flushedTo }
 
@@ -133,6 +150,8 @@ func (l *Log) Append(p *sim.Proc, rec []byte) (int64, error) {
 	l.nextLSN += int64(len(rec) + 4)
 	l.stats.Appends++
 	l.stats.AppendedBytes += int64(len(rec))
+	l.tlAppends.Inc(int64(p.Now()))
+	l.tlBuffered.Set(float64(len(l.buf)), int64(p.Now()))
 	if len(l.buf) >= l.cfg.BufferBytes {
 		if err := l.Flush(p); err != nil {
 			return 0, err
@@ -184,6 +203,7 @@ func (l *Log) Flush(p *sim.Proc) error {
 	l.flushing = true
 	data := l.buf
 	l.buf = nil
+	l.tlBuffered.Set(0, int64(p.Now()))
 	flushLSN := l.nextLSN
 
 	// Frame the flush as a segment: magic(4) + length(4) + records, padded
@@ -219,6 +239,8 @@ func (l *Log) Flush(p *sim.Proc) error {
 		l.headSect += sectors
 		l.stats.Flushes++
 		l.stats.FlushedSectors += sectors
+		l.tlFlushes.Inc(int64(p.Now()))
+		l.tlFlushedS.Add(sectors, int64(p.Now()))
 		return nil
 	}()
 	l.flushing = false
