@@ -1,0 +1,273 @@
+// Command clustersim drives the sharded Trail cluster: a multi-tenant mix
+// over N shards with failure detection, write-both replication, hedged
+// reads, and background rebuild. Two modes:
+//
+//   - Chaos run (default): one cluster under an optional fault scenario
+//     (-chaos "shardkill=1@250ms" or "slowshard=0@100ms:500000"), with the
+//     run summary, health outcomes, and an optional acked-write readback
+//     (-verify — a nonzero exit if any acknowledged write is lost). All
+//     stdout and every export is byte-deterministic for a fixed seed, so
+//     CI byte-compares two same-seed runs end to end.
+//   - Sweep (-sweep "2,4,8"): the scale-out experiment — throughput and
+//     tail latency vs shard count — with benchfmt entries (cluster/shards=N)
+//     for the benchdiff gate.
+//
+// Usage:
+//
+//	clustersim [-shards N] [-tenants N] [-requests N] [-seed N]
+//	           [-read-frac F] [-zipf S] [-chaos SCENARIO] [-verify]
+//	           [-explain-tail F] [-metrics FILE[.prom|.json]]
+//	           [-timeline DUR] [-timeline-out FILE]
+//	           [-sweep N,N,...] [-json FILE] [-append]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"tracklog/internal/benchfmt"
+	"tracklog/internal/cluster"
+	"tracklog/internal/experiments"
+	"tracklog/internal/fault"
+	"tracklog/internal/qos"
+	"tracklog/internal/sim"
+	"tracklog/internal/span"
+	"tracklog/internal/telemetry"
+	"tracklog/internal/timeline"
+	"tracklog/internal/workload"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("clustersim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	shards := fs.Int("shards", 4, "shard count")
+	tenants := fs.Int("tenants", 48, "tenant population")
+	requests := fs.Int("requests", 1200, "mix arrivals")
+	seed := fs.Uint64("seed", 1, "workload and fault seed")
+	readFrac := fs.Float64("read-frac", 0.3, "fraction of arrivals that read")
+	zipf := fs.Float64("zipf", 0.9, "tenant popularity skew (0 = uniform)")
+	chaos := fs.String("chaos", "", `fault scenario, e.g. "shardkill=1@250ms" or "slowshard=0@100ms:500000"`)
+	verify := fs.Bool("verify", false, "read back every acked slot; exit 1 on any loss")
+	tailFrac := fs.Float64("explain-tail", 0, "explain the slowest fraction of requests (0 disables)")
+	metricsOut := fs.String("metrics", "", "telemetry export (.prom for Prometheus text, else JSON)")
+	tlBucket := fs.Duration("timeline", 0, "timeline bucket width (0 disables)")
+	tlOut := fs.String("timeline-out", "cluster-timeline.csv", "timeline export path for -timeline (.json for JSON, else CSV)")
+	sweep := fs.String("sweep", "", "comma-separated shard counts: run the scale-out sweep instead of a chaos run")
+	jsonOut := fs.String("json", "", "benchfmt summary file for -sweep (empty disables)")
+	appendJSON := fs.Bool("append", false, "merge into an existing -json file, replacing prior cluster/ entries")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "clustersim:", err)
+		return 1
+	}
+
+	if *sweep != "" {
+		counts, err := parseCounts(*sweep)
+		if err != nil {
+			return fail(err)
+		}
+		res, err := experiments.Cluster(counts, *tenants, *requests, *seed)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprint(stdout, res.String())
+		if *jsonOut != "" {
+			if err := writeSweepSummary(*jsonOut, *appendJSON, *requests, *seed, res); err != nil {
+				return fail(err)
+			}
+			fmt.Fprintf(stdout, "bench summary -> %s\n", *jsonOut)
+		}
+		return 0
+	}
+
+	scenario, err := fault.ParseShardScenario(*chaos)
+	if err != nil {
+		return fail(err)
+	}
+	env := sim.NewEnv()
+	defer env.Close()
+	c, err := cluster.New(env, cluster.Config{
+		Shards:   *shards,
+		Tenants:  *tenants,
+		QoS:      qos.Default(),
+		Scenario: scenario,
+		Seed:     *seed,
+	})
+	if err != nil {
+		return fail(err)
+	}
+
+	var reg *telemetry.Registry
+	if *metricsOut != "" {
+		reg = telemetry.NewRegistry()
+		env.SetMetrics(reg)
+		c.RegisterMetrics(reg)
+	}
+	var agg *timeline.Aggregator
+	if *tlBucket > 0 {
+		agg = timeline.New(*tlBucket)
+		env.SetTimeline(agg)
+		c.SetTimeline(agg)
+	}
+	var rec *span.Recorder
+	if *tailFrac > 0 {
+		rec = span.NewRecorder(0)
+		c.SetRecorder(rec)
+	}
+
+	mix, err := workload.GenerateMix(workload.MixConfig{
+		Tenants:           *tenants,
+		Requests:          *requests,
+		ReadFraction:      *readFrac,
+		Interarrival:      400 * time.Microsecond,
+		ZipfS:             *zipf,
+		BackgroundWeight:  15,
+		InteractiveWeight: 10,
+		Seed:              *seed,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	c.RunMix(mix)
+	env.Run()
+
+	st := c.Stats()
+	fmt.Fprintf(stdout, "cluster: %d shards, %d tenants, %d requests, seed %d, chaos %q\n",
+		*shards, *tenants, *requests, *seed, *chaos)
+	fmt.Fprintf(stdout, "writes: %d issued, %d acked (%d degraded), %d shed, %d failed\n",
+		st.Writes, st.WritesAcked, st.DegradedAcks, st.WritesShed, st.WritesFailed)
+	fmt.Fprintf(stdout, "reads: %d issued, %d ok, %d failed, %d failovers, %d hedges (%d won)\n",
+		st.Reads, st.ReadsOK, st.ReadsFailed, st.Failovers, st.Hedges, st.HedgeWins)
+	fmt.Fprintf(stdout, "health: %d deaths, %d recoveries, %d slots rebuilt (%d retries)\n",
+		st.ShardDeaths, st.Recoveries, st.RebuildCopies, st.RebuildRetries)
+	states := make([]string, 0, c.NumShards())
+	for i := 0; i < c.NumShards(); i++ {
+		states = append(states, fmt.Sprintf("%d:%s/g%d", i, c.ShardState(i), c.ShardGen(i)))
+	}
+	fmt.Fprintf(stdout, "shards: %s\n", strings.Join(states, " "))
+
+	lost := int64(0)
+	if *verify {
+		var checked int64
+		env.Go("verify", func(p *sim.Proc) { checked, lost = c.VerifyAcked(p) })
+		env.Run()
+		fmt.Fprintf(stdout, "verify: %d acked slots read back, %d lost\n", checked, lost)
+	}
+
+	if reg != nil {
+		if err := writeFile(*metricsOut, promOrJSON(*metricsOut, reg)); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stdout, "metrics: %d series -> %s\n", reg.Len(), *metricsOut)
+	}
+	if agg != nil {
+		agg.Finish(int64(env.Now()))
+		write := agg.WriteCSV
+		if strings.HasSuffix(*tlOut, ".json") {
+			write = agg.WriteJSON
+		}
+		if err := writeFile(*tlOut, write); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stdout, "timeline: bucket %v -> %s\n", time.Duration(agg.BucketNS()), *tlOut)
+	}
+	if rec != nil {
+		fmt.Fprint(stdout, span.ExplainTail(rec.Requests(), *tailFrac))
+	}
+
+	if lost > 0 {
+		fmt.Fprintf(stderr, "clustersim: %d acknowledged writes lost\n", lost)
+		return 1
+	}
+	return 0
+}
+
+func parseCounts(s string) ([]int, error) {
+	var counts []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad shard count %q: %w", part, err)
+		}
+		counts = append(counts, n)
+	}
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("empty -sweep")
+	}
+	return counts, nil
+}
+
+// writeSweepSummary writes (or with appendTo, merges into) the benchfmt
+// file, replacing prior cluster/ entries so the sweep can ride in
+// BENCH_trail.json alongside the other gates.
+func writeSweepSummary(path string, appendTo bool, requests int, seed uint64, res *experiments.ClusterResult) error {
+	bf := &benchfmt.File{Writes: requests, Seed: seed}
+	if appendTo {
+		if existing, err := benchfmt.ReadFile(path); err == nil {
+			bf = existing
+			kept := bf.Experiments[:0]
+			for _, e := range bf.Experiments {
+				if !strings.HasPrefix(e.Name, "cluster/") {
+					kept = append(kept, e)
+				}
+			}
+			bf.Experiments = kept
+		} else if !os.IsNotExist(err) {
+			return err
+		}
+	}
+	for _, pt := range res.Points {
+		bf.Experiments = append(bf.Experiments, benchfmt.Entry{
+			Name:   fmt.Sprintf("cluster/shards=%d", pt.Shards),
+			Count:  pt.Acked,
+			MeanUS: usFloat(pt.WMean),
+			P50US:  usFloat(pt.WP50),
+			P99US:  usFloat(pt.WP99),
+			Rates: map[string]float64{
+				"acked_per_sec": pt.AckedPerSec,
+			},
+			Counters: map[string]int64{
+				"acked":        pt.Acked,
+				"shed":         pt.Shed,
+				"write_failed": pt.Failed,
+				"reads_ok":     pt.ReadsOK,
+			},
+		})
+	}
+	return bf.WriteFile(path)
+}
+
+func promOrJSON(path string, reg *telemetry.Registry) func(io.Writer) error {
+	if strings.HasSuffix(path, ".prom") {
+		return reg.WriteProm
+	}
+	return reg.WriteJSON
+}
+
+func writeFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// usFloat converts a duration to microseconds.
+func usFloat(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1000 }

@@ -1,0 +1,514 @@
+// Package cluster shards the Trail driver into an N-way cluster serving
+// thousands of simulated tenants — the ROADMAP's "millions of users" layer.
+// Each shard is an independent Trail world (its own log/data disk pair,
+// fault plan, and QoS policy) on the shared virtual-time environment; a
+// deterministic consistent-hash router places every tenant on a primary and
+// one replica shard. Writes go to both copies (write-both), reads go to the
+// primary with hedging and failover to the replica, and a per-shard health
+// state machine (healthy → suspect → dead → recovering → healthy) driven by
+// virtual-time heartbeats turns device death into bounded failover instead
+// of data loss: after a shard dies, every previously acknowledged write is
+// still readable via its replica, and a background rebuild replays the dead
+// shard's acked writes from the surviving copy as Background-class traffic
+// competing with foreground under the usual QoS machinery.
+//
+// Everything is deterministic: the ring is sorted slices (no map
+// iteration), randomness comes only from sim.Rand, and two same-seed runs —
+// including kill-one-shard chaos runs — are byte-identical, which is what
+// lets CI gate the failover story with cmp.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"time"
+
+	"tracklog/internal/blockdev"
+	"tracklog/internal/disk"
+	"tracklog/internal/fault"
+	"tracklog/internal/qos"
+	"tracklog/internal/sim"
+	"tracklog/internal/span"
+	"tracklog/internal/timeline"
+	"tracklog/internal/trail"
+	"tracklog/internal/workload"
+)
+
+// Config describes a sharded Trail cluster.
+type Config struct {
+	// Shards is the number of Trail shards (default 4, minimum 2: every
+	// tenant needs a primary and a distinct replica).
+	Shards int
+	// Tenants is the number of simulated tenants routed over the shards
+	// (default 64).
+	Tenants int
+	// BlocksPerTenant is each tenant's addressable block count (default 2).
+	BlocksPerTenant int
+	// WriteSize is the bytes per block write; must be a sector multiple
+	// (default 1024, the paper's small-write size).
+	WriteSize int
+	// VNodes is the number of ring points per shard (default 16); more
+	// vnodes smooth tenant placement.
+	VNodes int
+	// HeartbeatInterval is the gap between health probes per shard
+	// (default 20ms); ProbeTimeout is each probe's deadline (default 60ms).
+	HeartbeatInterval time.Duration
+	ProbeTimeout      time.Duration
+	// SuspectAfter / DeadAfter are the consecutive probe failures that move
+	// a shard to Suspect (default 2) and Dead (default 4). A hard
+	// device-failure error from any request marks the shard Dead at once.
+	SuspectAfter int
+	DeadAfter    int
+	// ReplaceAfter is how long after death a replacement shard is
+	// provisioned and rebuild starts (default 150ms).
+	ReplaceAfter time.Duration
+	// HedgeAfter is the read-hedging delay: if the primary has not answered
+	// by then, the replica is asked too and the first answer wins
+	// (default 25ms; 0 disables hedging).
+	HedgeAfter time.Duration
+	// QoS is each shard's admission policy (nil = fully permissive).
+	QoS *qos.Policy
+	// Trail is the per-shard Trail configuration (zero value = defaults).
+	Trail trail.Config
+	// Scenario schedules whole-shard chaos (kills, derates).
+	Scenario fault.ShardScenario
+	// Seed feeds the cluster's private RNG (fault plans).
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards == 0 {
+		c.Shards = 4
+	}
+	if c.Tenants == 0 {
+		c.Tenants = 64
+	}
+	if c.BlocksPerTenant == 0 {
+		c.BlocksPerTenant = 2
+	}
+	if c.WriteSize == 0 {
+		c.WriteSize = 1024
+	}
+	if c.VNodes == 0 {
+		c.VNodes = 16
+	}
+	if c.HeartbeatInterval == 0 {
+		c.HeartbeatInterval = 20 * time.Millisecond
+	}
+	if c.ProbeTimeout == 0 {
+		c.ProbeTimeout = 60 * time.Millisecond
+	}
+	if c.SuspectAfter == 0 {
+		c.SuspectAfter = 2
+	}
+	if c.DeadAfter == 0 {
+		c.DeadAfter = 4
+	}
+	if c.ReplaceAfter == 0 {
+		c.ReplaceAfter = 150 * time.Millisecond
+	}
+	if c.HedgeAfter == 0 {
+		c.HedgeAfter = 25 * time.Millisecond
+	}
+	return c
+}
+
+// Placement is one tenant's routing decision: the primary and replica
+// shards plus the tenant's base LBA on each (tenant regions are allocated
+// contiguously per shard in tenant order).
+type Placement struct {
+	Primary, Replica       int
+	PrimaryLBA, ReplicaLBA int64
+}
+
+// ringEntry is one vnode point on the hash ring.
+type ringEntry struct {
+	hash  uint64
+	shard int
+}
+
+// slot is the cluster's bookkeeping for one (tenant, block) address: the
+// acked version count, the issue counter feeding payload generation, and
+// every acknowledged payload (newest first) a read may legally return —
+// overlapping writes to the same slot are acked in simulator order, but a
+// concurrent pair's winner is ambiguous, so verification matches any acked
+// candidate exactly like trailsim's readback.
+type slot struct {
+	version int64
+	issued  int64
+	cands   [][]byte
+}
+
+// Stats are the cluster's cumulative counters.
+type Stats struct {
+	Writes         int64 // write requests admitted to the router
+	WritesAcked    int64 // acknowledged (at least one durable copy)
+	DegradedAcks   int64 // acked with one copy down (device failed)
+	WritesShed     int64 // refused with ErrOverload (cluster or shard QoS)
+	WritesFailed   int64 // failed for any other reason
+	Reads          int64
+	ReadsOK        int64
+	ReadsFailed    int64
+	Failovers      int64 // reads redirected to the replica after primary failure
+	Hedges         int64 // hedged replica reads issued
+	HedgeWins      int64 // hedged reads that beat the primary
+	ShardDeaths    int64
+	Recoveries     int64 // shards returned to Healthy after rebuild
+	RebuildCopies  int64 // slots replayed onto a replacement shard
+	RebuildRetries int64 // rebuild copy attempts refused and retried
+}
+
+// Cluster is a sharded Trail deployment on one virtual-time environment.
+type Cluster struct {
+	env    *sim.Env
+	cfg    Config
+	rng    *sim.Rand
+	ring   []ringEntry
+	place  []Placement
+	shards []*Shard
+	slots  [][]slot
+	spb    int // sectors per block
+	stats  Stats
+
+	rec *span.Recorder
+	agg *timeline.Aggregator
+	// Cluster-level timeline marks (nil when no aggregator attached).
+	tlFailover *timeline.Mark
+	tlHedge    *timeline.Mark
+	tlRebuild  *timeline.Mark
+	tlShed     *timeline.Mark
+}
+
+// New builds the cluster on env: rings, placements, and one Trail world per
+// shard, with any scheduled chaos (Config.Scenario) armed. The heartbeat
+// daemons start immediately; nothing else runs until env.Run.
+func New(env *sim.Env, cfg Config) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Shards < 2 {
+		return nil, fmt.Errorf("cluster: need at least 2 shards for replication, got %d", cfg.Shards)
+	}
+	if cfg.WriteSize%512 != 0 || cfg.WriteSize <= 0 {
+		return nil, fmt.Errorf("cluster: WriteSize %d is not a positive sector multiple", cfg.WriteSize)
+	}
+	for _, e := range cfg.Scenario.Events {
+		if e.Shard >= cfg.Shards {
+			return nil, fmt.Errorf("cluster: scenario targets shard %d of %d", e.Shard, cfg.Shards)
+		}
+	}
+
+	c := &Cluster{
+		env:  env,
+		cfg:  cfg,
+		rng:  sim.NewRand(cfg.Seed ^ 0xC10C0DE),
+		ring: buildRing(cfg.Shards, cfg.VNodes),
+		spb:  cfg.WriteSize / 512,
+	}
+
+	// Route every tenant and allocate its contiguous block regions on the
+	// primary and replica shards, in tenant order — pure slice arithmetic,
+	// so placement is identical across runs and immune to map ordering.
+	next := make([]int64, cfg.Shards)
+	region := int64(cfg.BlocksPerTenant * c.spb)
+	c.place = make([]Placement, cfg.Tenants)
+	for t := 0; t < cfg.Tenants; t++ {
+		pri, rep := placeTenant(c.ring, t)
+		c.place[t] = Placement{
+			Primary: pri, Replica: rep,
+			PrimaryLBA: next[pri], ReplicaLBA: next[rep],
+		}
+		next[pri] += region
+		next[rep] += region
+	}
+
+	c.slots = make([][]slot, cfg.Tenants)
+	for t := range c.slots {
+		c.slots[t] = make([]slot, cfg.BlocksPerTenant)
+	}
+
+	for i := 0; i < cfg.Shards; i++ {
+		sh, err := c.provision(i, 0)
+		if err != nil {
+			return nil, err
+		}
+		c.shards = append(c.shards, sh)
+	}
+	c.armScenario()
+	c.startHeartbeats()
+	return c, nil
+}
+
+// provision builds one shard generation: a fresh formatted log disk, a
+// fresh data disk, and a Trail driver over them. Generation 0 additionally
+// arms the kill plan from the chaos scenario — replacement hardware is
+// healthy by construction.
+func (c *Cluster) provision(idx, gen int) (*Shard, error) {
+	log := disk.New(c.env, disk.ST41601N())
+	if err := trail.Format(log); err != nil {
+		return nil, fmt.Errorf("cluster: shard %d: %w", idx, err)
+	}
+	data := disk.New(c.env, disk.WDCaviar())
+	tcfg := c.cfg.Trail
+	tcfg.QoS = c.cfg.QoS
+	drv, err := trail.NewDriver(c.env, log, []*disk.Disk{data}, tcfg)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: shard %d: %w", idx, err)
+	}
+	if gen == 0 {
+		if killAt := c.cfg.Scenario.KillFor(idx); killAt > 0 {
+			fault.Attach(log, c.rng, fault.Config{FailAt: killAt})
+			fault.Attach(data, c.rng, fault.Config{FailAt: killAt})
+		}
+	}
+	sh := &Shard{idx: idx, gen: gen, log: log, data: data, drv: drv, dev: drv.Dev(0)}
+	if c.agg != nil {
+		c.observeShardDisks(sh)
+	}
+	return sh, nil
+}
+
+// armScenario schedules slowshard derates. Kills need no process — the
+// fault plans attached at provision time reject commands past the instant —
+// but a derate mutates live disk parameters, so a daemon sleeps until the
+// event and flips the knob (daemon: chaos alone must not keep the
+// simulation alive).
+func (c *Cluster) armScenario() {
+	for _, e := range c.cfg.Scenario.Events {
+		if e.Kill() {
+			continue
+		}
+		e := e
+		c.env.GoDaemon(fmt.Sprintf("cluster/derate%d", e.Shard), func(p *sim.Proc) {
+			p.Sleep(e.At)
+			sh := c.shards[e.Shard]
+			sh.log.SetSeekDeratePPM(e.DeratePPM)
+			sh.data.SetSeekDeratePPM(e.DeratePPM)
+		})
+	}
+}
+
+// Shard accessors for experiments and the CLI.
+
+// NumShards returns the configured shard count.
+func (c *Cluster) NumShards() int { return len(c.shards) }
+
+// ShardState returns shard idx's current health state.
+func (c *Cluster) ShardState(idx int) State { return c.shards[idx].state }
+
+// ShardGen returns shard idx's hardware generation (0 = original; each
+// replacement after a death increments it).
+func (c *Cluster) ShardGen(idx int) int { return c.shards[idx].gen }
+
+// MaxLogQueue returns shard idx's current driver's high-water log queue.
+func (c *Cluster) MaxLogQueue(idx int) int { return c.shards[idx].drv.Stats().MaxLogQueue }
+
+// Stats returns a copy of the cluster counters.
+func (c *Cluster) Stats() Stats { return c.stats }
+
+// Placement returns tenant t's routing decision.
+func (c *Cluster) Placement(t int) Placement { return c.place[t] }
+
+// Involved reports whether tenant t has a copy on shard idx.
+func (c *Cluster) Involved(t, idx int) bool {
+	return c.place[t].Primary == idx || c.place[t].Replica == idx
+}
+
+// capacityLost reports whether any shard is short of Healthy — the trigger
+// for shedding Background traffic at the cluster edge.
+func (c *Cluster) capacityLost() bool {
+	for _, sh := range c.shards {
+		if sh.state != Healthy {
+			return true
+		}
+	}
+	return false
+}
+
+// slotLBA returns the slot's base LBA on the given shard (which must hold a
+// copy for the tenant).
+func (c *Cluster) slotLBA(t, block, shardIdx int) int64 {
+	pl := c.place[t]
+	base := pl.PrimaryLBA
+	if shardIdx == pl.Replica {
+		base = pl.ReplicaLBA
+	}
+	return base + int64(block*c.spb)
+}
+
+// payloadFor generates the deterministic payload for one write attempt.
+func payloadFor(tenant, block int, seq int64, size int) []byte {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "t%d/b%d/s%d", tenant, block, seq)
+	x := h.Sum64()
+	buf := make([]byte, size)
+	for i := range buf {
+		// xorshift64* keeps the fill cheap and seed-determined.
+		x ^= x >> 12
+		x ^= x << 25
+		x ^= x >> 27
+		buf[i] = byte((x * 0x2545F4914F6CDD1D) >> 56)
+	}
+	return buf
+}
+
+// buildRing hashes VNodes points per shard onto a 64-bit ring, sorted by
+// (hash, shard) so ties cannot reorder across runs.
+func buildRing(shards, vnodes int) []ringEntry {
+	ring := make([]ringEntry, 0, shards*vnodes)
+	for s := 0; s < shards; s++ {
+		for v := 0; v < vnodes; v++ {
+			ring = append(ring, ringEntry{hash: hash64(fmt.Sprintf("shard-%d-vnode-%d", s, v)), shard: s})
+		}
+	}
+	sort.Slice(ring, func(i, j int) bool {
+		if ring[i].hash != ring[j].hash {
+			return ring[i].hash < ring[j].hash
+		}
+		return ring[i].shard < ring[j].shard
+	})
+	return ring
+}
+
+// placeTenant walks the ring clockwise from the tenant's hash: the first
+// vnode's shard is the primary, the next vnode owned by a different shard
+// is the replica.
+func placeTenant(ring []ringEntry, tenant int) (primary, replica int) {
+	h := hash64(fmt.Sprintf("tenant-%d", tenant))
+	i := sort.Search(len(ring), func(k int) bool { return ring[k].hash >= h })
+	if i == len(ring) {
+		i = 0
+	}
+	primary = ring[i].shard
+	for j := 1; j <= len(ring); j++ {
+		if e := ring[(i+j)%len(ring)]; e.shard != primary {
+			return primary, e.shard
+		}
+	}
+	// Unreachable with >= 2 shards; keep the router total anyway.
+	return primary, primary
+}
+
+// hash64 is FNV-1a with a splitmix64 avalanche finalizer. Bare FNV-1a
+// barely diffuses trailing-byte differences — "tenant-0".."tenant-9" hash
+// within a 2^44-wide arc of the 2^64 ring, which collapses placement onto
+// one vnode. The finalizer spreads them uniformly.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// ReqOutcome is one mix request's result, indexed like the input stream so
+// aggregation is deterministic regardless of completion order.
+type ReqOutcome struct {
+	At      time.Duration
+	Tenant  int
+	Read    bool
+	Class   blockdev.Class
+	Latency time.Duration
+	OK      bool
+	Shed    bool
+	Expired bool
+	Failed  bool // hard failure (not shed, not expired)
+}
+
+// MixResult collects the outcome of RunMix; valid after env.Run returns.
+type MixResult struct {
+	Outcomes []ReqOutcome
+}
+
+// RunMix launches one open-loop process per mix request (arrival at its At
+// instant) against the cluster. Call env.Run afterwards; the result is
+// filled in as requests complete.
+func (c *Cluster) RunMix(reqs []workload.MixRequest) *MixResult {
+	res := &MixResult{Outcomes: make([]ReqOutcome, len(reqs))}
+	for i := range reqs {
+		i, r := i, reqs[i]
+		c.env.Go(fmt.Sprintf("cluster/req%d", i), func(p *sim.Proc) {
+			p.Sleep(r.At)
+			start := p.Now()
+			var err error
+			if r.Read {
+				_, err = c.Read(p, r.Tenant, r.Block, r.Class)
+			} else {
+				err = c.Write(p, r.Tenant, r.Block, r.Class)
+			}
+			o := &res.Outcomes[i]
+			o.At, o.Tenant, o.Read, o.Class = r.At, r.Tenant, r.Read, r.Class
+			o.Latency = time.Duration(p.Now().Sub(start))
+			switch {
+			case err == nil:
+				o.OK = true
+			case blockdev.IsShed(err):
+				o.Shed = true
+			case blockdev.IsExpired(err):
+				o.Expired = true
+			default:
+				o.Failed = true
+			}
+		})
+	}
+	return res
+}
+
+// VerifyAcked reads back every slot with at least one acknowledged write
+// through the normal routed read path and checks the data matches one of
+// the acked payload candidates. It returns the number of slots checked and
+// the number lost (unreadable or mismatched) — the kill-one-shard
+// acceptance bar is lost == 0.
+func (c *Cluster) VerifyAcked(p *sim.Proc) (checked, lost int64) {
+	for t := range c.slots {
+		for b := range c.slots[t] {
+			sl := &c.slots[t][b]
+			if sl.version == 0 {
+				continue
+			}
+			checked++
+			data, err := c.Read(p, t, b, blockdev.ClassInteractive)
+			if err != nil {
+				lost++
+				continue
+			}
+			if !matchAny(data, sl.cands) {
+				lost++
+			}
+		}
+	}
+	return checked, lost
+}
+
+func matchAny(data []byte, cands [][]byte) bool {
+	for _, cand := range cands {
+		if string(data) == string(cand) {
+			return true
+		}
+	}
+	return false
+}
+
+// Shutdown drains every serving shard's driver. Dead or recovering shards
+// are skipped — their drivers are gone or mid-rebuild.
+func (c *Cluster) Shutdown(p *sim.Proc) error {
+	var firstErr error
+	for _, sh := range c.shards {
+		if sh.state == Dead || sh.state == Recovering {
+			continue
+		}
+		if err := sh.drv.Shutdown(p); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("cluster: shard %d shutdown: %w", sh.idx, err)
+		}
+	}
+	return firstErr
+}
+
+// errAllCopiesFailed wraps device failure for the no-surviving-copy case.
+func errAllCopiesFailed(op string, tenant, block int) error {
+	return fmt.Errorf("cluster: %s tenant %d block %d: all copies failed: %w",
+		op, tenant, block, blockdev.ErrDeviceFailed)
+}

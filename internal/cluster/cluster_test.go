@@ -1,0 +1,319 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"tracklog/internal/blockdev"
+	"tracklog/internal/fault"
+	"tracklog/internal/qos"
+	"tracklog/internal/sim"
+	"tracklog/internal/span"
+	"tracklog/internal/workload"
+)
+
+func TestClusterWriteReadRoundTrip(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Close()
+	c, err := New(env, Config{Shards: 2, Tenants: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Go("client", func(p *sim.Proc) {
+		for tn := 0; tn < 8; tn++ {
+			if err := c.Write(p, tn, 0, blockdev.ClassNormal); err != nil {
+				t.Errorf("write tenant %d: %v", tn, err)
+			}
+		}
+		for tn := 0; tn < 8; tn++ {
+			data, err := c.Read(p, tn, 0, blockdev.ClassNormal)
+			if err != nil {
+				t.Errorf("read tenant %d: %v", tn, err)
+				continue
+			}
+			want := c.slots[tn][0].cands[0]
+			if string(data) != string(want) {
+				t.Errorf("tenant %d read back wrong data", tn)
+			}
+		}
+	})
+	env.Run()
+	st := c.Stats()
+	if st.WritesAcked != 8 || st.ReadsOK != 8 {
+		t.Fatalf("stats = %+v, want 8 acked / 8 reads ok", st)
+	}
+	if st.DegradedAcks != 0 || st.Failovers != 0 {
+		t.Fatalf("healthy run saw degradation: %+v", st)
+	}
+}
+
+// killMix builds the canonical kill-one-shard world: 4 shards, shard 1
+// killed mid-run, a multi-tenant mix driving it.
+func killMix(t *testing.T, env *sim.Env, seed uint64) (*Cluster, []workload.MixRequest, time.Duration) {
+	t.Helper()
+	const killAtMS = 250
+	killAt := killAtMS * time.Millisecond
+	c, err := New(env, Config{
+		Shards:  4,
+		Tenants: 48,
+		QoS:     qos.Default(),
+		Scenario: fault.ShardScenario{
+			Events: []fault.ShardEvent{{Shard: 1, At: killAt}},
+		},
+		Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix, err := workload.GenerateMix(workload.MixConfig{
+		Tenants:           48,
+		Requests:          1200,
+		ReadFraction:      0.3,
+		Interarrival:      400 * time.Microsecond,
+		ZipfS:             0.9,
+		BackgroundWeight:  15,
+		InteractiveWeight: 10,
+		Seed:              seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, mix, killAt
+}
+
+// The robustness acceptance test: kill a shard mid-run; every acknowledged
+// write must remain readable, the shard must come back healthy through the
+// rebuild, and the failure must be visible in the failover/rebuild
+// counters and span markers.
+func TestClusterKillOneShardZeroAckedWriteLoss(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Close()
+	c, mix, _ := killMix(t, env, 11)
+	rec := span.NewRecorder(0)
+	c.SetRecorder(rec)
+
+	c.RunMix(mix)
+	env.Run()
+
+	st := c.Stats()
+	if st.ShardDeaths != 1 {
+		t.Fatalf("shard deaths = %d, want 1 (stats %+v)", st.ShardDeaths, st)
+	}
+	if st.Recoveries != 1 {
+		t.Fatalf("recoveries = %d, want 1: the killed shard never came back (stats %+v)", st.Recoveries, st)
+	}
+	if got := c.ShardState(1); got != Healthy {
+		t.Fatalf("shard 1 final state = %v, want healthy", got)
+	}
+	if got := c.ShardGen(1); got != 1 {
+		t.Fatalf("shard 1 generation = %d, want 1 (one replacement)", got)
+	}
+	if st.RebuildCopies == 0 {
+		t.Fatal("rebuild copied no slots — the replacement came back empty")
+	}
+	if st.Failovers == 0 {
+		t.Fatal("no read failovers despite a dead primary window")
+	}
+	if st.DegradedAcks == 0 {
+		t.Fatal("no degraded acks despite writes during the outage")
+	}
+	if st.WritesAcked == 0 {
+		t.Fatal("nothing acked")
+	}
+
+	// Surviving shards must not grow unbounded queues: the QoS bound is the
+	// ceiling.
+	for i := 0; i < c.NumShards(); i++ {
+		if q := c.MaxLogQueue(i); q > qos.Default().MaxQueue {
+			t.Errorf("shard %d max log queue %d exceeds QoS bound %d", i, q, qos.Default().MaxQueue)
+		}
+	}
+
+	// Zero acknowledged-write loss, verified by readback through the
+	// normal routed read path.
+	var checked, lost int64
+	env.Go("verify", func(p *sim.Proc) { checked, lost = c.VerifyAcked(p) })
+	env.Run()
+	if checked == 0 {
+		t.Fatal("verification checked nothing")
+	}
+	if lost != 0 {
+		t.Fatalf("LOST %d of %d acknowledged slots after failover", lost, checked)
+	}
+
+	// The failure must be attributable: at least one span carries the
+	// failover marker and at least one rebuild span exists.
+	var sawFailover, sawRebuild bool
+	for _, r := range rec.Requests() {
+		for _, s := range r.Spans {
+			switch s.Phase {
+			case span.PFailover:
+				sawFailover = true
+			case span.PRebuild:
+				sawRebuild = true
+			}
+		}
+	}
+	if !sawFailover {
+		t.Error("no span carries the failover marker")
+	}
+	if !sawRebuild {
+		t.Error("no rebuild span recorded")
+	}
+}
+
+// Two same-seed kill-one-shard runs must agree on every outcome — the
+// property CI's cluster-chaos job byte-compares end to end.
+func TestClusterKillRunDeterministic(t *testing.T) {
+	run := func() (string, Stats) {
+		env := sim.NewEnv()
+		defer env.Close()
+		c, mix, _ := killMix(t, env, 23)
+		res := c.RunMix(mix)
+		env.Run()
+		var sum string
+		for i, o := range res.Outcomes {
+			sum += fmt.Sprintf("%d:%v/%v/%v/%v/%v\n", i, o.Latency, o.OK, o.Shed, o.Expired, o.Failed)
+		}
+		return sum, c.Stats()
+	}
+	sumA, stA := run()
+	sumB, stB := run()
+	if sumA != sumB {
+		t.Fatal("same-seed kill runs produced different outcome streams")
+	}
+	if stA != stB {
+		t.Fatalf("same-seed kill runs produced different stats:\n%+v\n%+v", stA, stB)
+	}
+}
+
+// While capacity is lost, Background traffic is shed at the cluster edge;
+// Normal traffic keeps flowing with degraded acks.
+func TestClusterDegradedModeShedsBackground(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Close()
+	killAt := 50 * time.Millisecond
+	c, err := New(env, Config{
+		Shards:  4,
+		Tenants: 16,
+		QoS:     qos.Default(),
+		Scenario: fault.ShardScenario{
+			Events: []fault.ShardEvent{{Shard: 2, At: killAt}},
+		},
+		// Push the replacement out so the whole test runs degraded.
+		ReplaceAfter: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := -1
+	for tn := 0; tn < 16; tn++ {
+		if c.Involved(tn, 2) {
+			victim = tn
+			break
+		}
+	}
+	if victim < 0 {
+		t.Fatal("no tenant routed to shard 2")
+	}
+	env.Go("client", func(p *sim.Proc) {
+		// Healthy phase: Background flows.
+		if err := c.Write(p, victim, 0, blockdev.ClassBackground); err != nil {
+			t.Errorf("healthy background write: %v", err)
+		}
+		p.Sleep(killAt + 10*time.Millisecond - time.Duration(p.Now()))
+		// Touch the dead shard to trip detection, then prove the edge.
+		if err := c.Write(p, victim, 0, blockdev.ClassNormal); err != nil {
+			t.Errorf("degraded normal write should ack on the survivor: %v", err)
+		}
+		if got := c.ShardState(2); got != Dead {
+			t.Fatalf("shard 2 state = %v after device failure, want dead", got)
+		}
+		err := c.Write(p, victim, 0, blockdev.ClassBackground)
+		if !blockdev.IsShed(err) {
+			t.Errorf("degraded background write err = %v, want shed", err)
+		}
+		// Reads on the victim tenant fail over to the surviving copy.
+		if _, err := c.Read(p, victim, 0, blockdev.ClassNormal); err != nil {
+			t.Errorf("degraded read should fail over: %v", err)
+		}
+	})
+	env.Run()
+	st := c.Stats()
+	if st.DegradedAcks == 0 {
+		t.Errorf("no degraded ack recorded: %+v", st)
+	}
+	if st.WritesShed == 0 {
+		t.Errorf("no shed recorded: %+v", st)
+	}
+	if st.Failovers == 0 {
+		t.Errorf("no failover recorded: %+v", st)
+	}
+}
+
+// Hedged reads fire once the primary runs past the hedge deadline and the
+// replica can win the race. A 2ms hedge deadline sits well under the data
+// disk's ~11ms rotation, so platter reads routinely overrun it. The victim
+// tenant must have distinct primary/replica LBAs: all shard disks spin in
+// rotational lockstep (identical worlds built at t=0), so same-LBA copies
+// sit at the same angle and the hedge's head start can never be made up.
+// The slowshard scenario rides along to prove the mid-run derate actually
+// lands on the running shard's disks.
+func TestClusterSlowShardHedging(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Close()
+	derateAt := 10 * time.Millisecond
+	const deratePPM = 6_000_000
+	c, err := New(env, Config{
+		Shards:  4,
+		Tenants: 16,
+		Scenario: fault.ShardScenario{
+			Events: []fault.ShardEvent{{Shard: 0, At: derateAt, DeratePPM: deratePPM}},
+		},
+		HedgeAfter: 2 * time.Millisecond,
+		// Keep the probe machinery from declaring the slow shard suspect:
+		// this test is about hedging, not failure detection.
+		ProbeTimeout: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := -1
+	for tn := 0; tn < 16; tn++ {
+		pl := c.Placement(tn)
+		if pl.Primary == 0 && pl.PrimaryLBA != pl.ReplicaLBA {
+			victim = tn
+			break
+		}
+	}
+	if victim < 0 {
+		t.Fatal("no tenant has shard 0 as primary with offset replica LBA")
+	}
+	env.Go("client", func(p *sim.Proc) {
+		if err := c.Write(p, victim, 0, blockdev.ClassNormal); err != nil {
+			t.Fatalf("prime write: %v", err)
+		}
+		p.Sleep(50*time.Millisecond - time.Duration(p.Now()))
+		if got := c.shards[0].data.Params().SeekDeratePPM; got != deratePPM {
+			t.Errorf("shard 0 data disk derate = %d, want %d — slowshard event never landed", got, deratePPM)
+		}
+		if got := c.shards[1].data.Params().SeekDeratePPM; got != 0 {
+			t.Errorf("shard 1 data disk derate = %d, want 0", got)
+		}
+		for i := 0; i < 10; i++ {
+			if _, err := c.Read(p, victim, 0, blockdev.ClassNormal); err != nil {
+				t.Errorf("read %d: %v", i, err)
+			}
+			p.Sleep(3 * time.Millisecond)
+		}
+	})
+	env.Run()
+	st := c.Stats()
+	if st.Hedges == 0 {
+		t.Fatalf("no hedged reads with a 2ms hedge deadline: %+v", st)
+	}
+	if st.HedgeWins == 0 {
+		t.Fatalf("hedges fired but the replica never won: %+v", st)
+	}
+}

@@ -296,6 +296,12 @@ func New(env *sim.Env, params Params) *Disk {
 // Params returns the drive parameters.
 func (d *Disk) Params() Params { return d.params }
 
+// SetSeekDeratePPM changes the arm derate mid-run. SeekTime reads the knob
+// on every command, so the new value takes effect at the next seek — this is
+// how the cluster's slowshard chaos scenario degrades a shard that is
+// already serving traffic without rebuilding the world.
+func (d *Disk) SetSeekDeratePPM(ppm int64) { d.params.SeekDeratePPM = ppm }
+
 // Geom returns the drive geometry.
 func (d *Disk) Geom() *geom.Geometry { return &d.params.Geom }
 

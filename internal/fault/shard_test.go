@@ -1,0 +1,86 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseShardScenario(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      string
+		want    []ShardEvent
+		wantErr string
+	}{
+		{name: "empty", in: "", want: nil},
+		{name: "whitespace", in: "   ", want: nil},
+		{
+			name: "kill",
+			in:   "shardkill=2@300ms",
+			want: []ShardEvent{{Shard: 2, At: 300 * time.Millisecond}},
+		},
+		{
+			name: "slow",
+			in:   "slowshard=1@100ms:3000000",
+			want: []ShardEvent{{Shard: 1, At: 100 * time.Millisecond, DeratePPM: 3000000}},
+		},
+		{
+			name: "both sorted by instant",
+			in:   "shardkill=2@300ms,slowshard=1@100ms:500000",
+			want: []ShardEvent{
+				{Shard: 1, At: 100 * time.Millisecond, DeratePPM: 500000},
+				{Shard: 2, At: 300 * time.Millisecond},
+			},
+		},
+		{name: "duplicate key", in: "shardkill=1@1s,shardkill=2@2s", wantErr: "duplicate key"},
+		{name: "not key=value", in: "shardkill", wantErr: "not key=value"},
+		{name: "unknown key", in: "killshard=1@1s", wantErr: "unknown shard scenario key"},
+		{name: "missing at", in: "shardkill=1", wantErr: "want IDX@DUR"},
+		{name: "bad index", in: "shardkill=x@1s", wantErr: "bad shard index"},
+		{name: "negative index", in: "shardkill=-1@1s", wantErr: "negative"},
+		{name: "bad duration", in: "shardkill=1@soon", wantErr: "bad instant"},
+		{name: "zero instant", in: "shardkill=1@0s", wantErr: "must be positive"},
+		{name: "slow missing ppm", in: "slowshard=1@1s", wantErr: "want IDX@DUR:PPM"},
+		{name: "slow bad ppm", in: "slowshard=1@1s:fast", wantErr: "bad ppm"},
+		{name: "slow zero ppm", in: "slowshard=1@1s:0", wantErr: "must be > 0"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := ParseShardScenario(tc.in)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("ParseShardScenario(%q) err = %v, want containing %q", tc.in, err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ParseShardScenario(%q): %v", tc.in, err)
+			}
+			if len(got.Events) != len(tc.want) {
+				t.Fatalf("events = %v, want %v", got.Events, tc.want)
+			}
+			for i := range tc.want {
+				if got.Events[i] != tc.want[i] {
+					t.Fatalf("event %d = %v, want %v", i, got.Events[i], tc.want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestShardScenarioKillFor(t *testing.T) {
+	sc, err := ParseShardScenario("slowshard=0@50ms:100000,shardkill=3@2s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sc.KillFor(3); got != 2*time.Second {
+		t.Fatalf("KillFor(3) = %v, want 2s", got)
+	}
+	if got := sc.KillFor(0); got != 0 {
+		t.Fatalf("KillFor(0) = %v, want 0 (derate is not a kill)", got)
+	}
+	if !sc.Events[1].Kill() || sc.Events[0].Kill() {
+		t.Fatalf("Kill() classification wrong: %v", sc.Events)
+	}
+}

@@ -67,7 +67,7 @@ func ExplainTail(reqs []*Request, frac float64) *TailReport {
 func explain(r *Request) TailEntry {
 	var tot [numPhases]int64
 	var rotPeriod, maxDepth, maxWritesAhead, retries int64
-	var shed, expired bool
+	var shed, expired, failover, hedge, hedgeWon bool
 	for _, s := range r.Spans {
 		tot[s.Phase] += s.Dur()
 		switch s.Phase {
@@ -88,6 +88,13 @@ func explain(r *Request) TailEntry {
 			shed = true
 		case PDeadline:
 			expired = true
+		case PFailover:
+			failover = true
+		case PHedge:
+			hedge = true
+			if s.B == 1 {
+				hedgeWon = true
+			}
 		}
 	}
 	dominant := Phase(0)
@@ -104,14 +111,18 @@ func explain(r *Request) TailEntry {
 	}
 	return TailEntry{
 		Req: r, Latency: time.Duration(lat), Dominant: dominant, SharePct: pct,
-		Cause: cause(r, dominant, tot[:], rotPeriod, maxDepth, maxWritesAhead, retries, shed, expired),
+		Cause: cause(r, dominant, tot[:], rotPeriod, maxDepth, maxWritesAhead, retries,
+			shed, expired, failover, hedge, hedgeWon),
 	}
 }
 
 // cause names the root cause with deterministic rules, most specific first.
 // Overload outcomes outrank everything else: a shed or expired request's
 // story is the overload, whatever phase happened to dominate its latency.
-func cause(r *Request, dominant Phase, tot []int64, rotPeriod, depth, writesAhead, retries int64, shed, expired bool) string {
+// Cluster redirections (failover, hedge) outrank mechanical phases the same
+// way: a request that changed shards mid-flight is slow because it changed
+// shards, whatever the replica's disk then spent the time on.
+func cause(r *Request, dominant Phase, tot []int64, rotPeriod, depth, writesAhead, retries int64, shed, expired, failover, hedge, hedgeWon bool) string {
 	if shed {
 		return "shed at admission (overload)"
 	}
@@ -123,6 +134,25 @@ func cause(r *Request, dominant Phase, tot []int64, rotPeriod, depth, writesAhea
 	}
 	if dominant == PThrottle {
 		return "throttled against write-back progress (log pressure)"
+	}
+	if failover {
+		return "failed over to replica after shard failure"
+	}
+	if hedge {
+		if hedgeWon {
+			return "hedged to replica after slow primary (hedge won)"
+		}
+		return "hedged to replica after slow primary"
+	}
+	if r.Driver == "cluster" {
+		switch dominant {
+		case PRebuild:
+			return "shard rebuild copy (replica replay)"
+		case PSubWrite:
+			return "write-both replication (slowest copy acks)"
+		case PSubRead:
+			return "shard read (primary serving)"
+		}
 	}
 	if r.Err {
 		return "failed: gave up after retries"

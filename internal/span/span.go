@@ -68,6 +68,14 @@ const (
 	// PDeadline is a zero-duration marker: the request was abandoned with
 	// ErrDeadlineExceeded. A = nanoseconds past the deadline.
 	PDeadline
+	// PFailover is a zero-duration marker: the cluster redirected the
+	// request to the replica shard after the primary failed or was marked
+	// dead. A = replica shard index.
+	PFailover
+	// PHedge is a zero-duration marker: the cluster issued a hedged read
+	// to the replica after the primary ran past the hedge deadline.
+	// A = replica shard index; B = 1 if the hedge won the race.
+	PHedge
 
 	numPhases
 )
@@ -76,7 +84,7 @@ var phaseNames = [numPhases]string{
 	"queue", "trackswitch", "retry", "turnaround", "overhead", "seek",
 	"headswitch", "settle", "rotwait", "transfer", "staging",
 	"locate", "rebuild", "writeback", "subread", "subwrite",
-	"throttle", "shed", "deadline",
+	"throttle", "shed", "deadline", "failover", "hedge",
 }
 
 func (p Phase) String() string {

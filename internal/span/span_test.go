@@ -300,6 +300,71 @@ func TestExplainTailQoSCauses(t *testing.T) {
 	}
 }
 
+// Cluster redirection causes are pinned strings: CI greps for them and the
+// kill-one-shard walkthrough quotes them, so they must not drift.
+func TestExplainTailClusterCauses(t *testing.T) {
+	r := NewRecorder(0)
+
+	// Read failed over to the replica after the primary shard died.
+	cf := r.Start(KRead, "cluster", "shard0", 0, 2, 1000)
+	cf.Point(PFailover, 1000, 1, 0)
+	cf.ChildAB(PSubRead, 1000, 5_001_000, 1, 0)
+	cf.Finish(5_001_000, false)
+
+	// Hedged read: replica copy raced the slow primary and won.
+	ch := r.Start(KRead, "cluster", "shard2", 8, 2, 2000)
+	ch.ChildAB(PSubRead, 2000, 3_002_000, 2, 0)
+	ch.Point(PHedge, 1_002_000, 3, 1)
+	ch.Finish(3_002_000, false)
+
+	// Hedged read where the primary still won the race.
+	cl := r.Start(KRead, "cluster", "shard2", 16, 2, 3000)
+	cl.ChildAB(PSubRead, 3000, 2_503_000, 2, 0)
+	cl.Point(PHedge, 1_003_000, 3, 0)
+	cl.Finish(2_503_000, false)
+
+	// Background rebuild copy replaying the dead shard from its replica.
+	cr := r.Start(KWriteback, "cluster", "shard1", 24, 2, 4000)
+	cr.ChildAB(PRebuild, 4000, 8_004_000, 17, 0)
+	cr.Finish(8_004_000, false)
+
+	// Plain write-both write: the slowest copy's span dominates.
+	cw := r.Start(KWrite, "cluster", "shard3", 32, 2, 5000)
+	cw.ChildAB(PSubWrite, 5000, 6_005_000, 3, 0)
+	cw.Finish(6_005_000, false)
+
+	// Plain primary-served read, no redirection.
+	cp := r.Start(KRead, "cluster", "shard3", 40, 2, 6000)
+	cp.ChildAB(PSubRead, 6000, 4_006_000, 3, 0)
+	cp.Finish(4_006_000, false)
+
+	rep := ExplainTail(r.Requests(), 1.0)
+	byID := map[int64]TailEntry{}
+	for _, e := range rep.Entries {
+		byID[e.Req.ID] = e
+	}
+	for id, want := range map[int64]string{
+		1: "failed over to replica after shard failure",
+		2: "hedged to replica after slow primary (hedge won)",
+		3: "hedged to replica after slow primary",
+		4: "shard rebuild copy (replica replay)",
+		5: "write-both replication (slowest copy acks)",
+		6: "shard read (primary serving)",
+	} {
+		if got := byID[id].Cause; got != want {
+			t.Errorf("request %d cause = %q, want %q", id, got, want)
+		}
+	}
+	// The failover marker outranks the replica's mechanical phases: the
+	// request is slow because it changed shards.
+	if byID[1].Dominant != PSubRead {
+		t.Errorf("failover dominant = %v, want subread", byID[1].Dominant)
+	}
+	if got := rep.Causes.Get("failed over to replica after shard failure"); got != 1 {
+		t.Errorf("cause histogram failover count = %d, want 1", got)
+	}
+}
+
 // Chrome export must be deterministic and structurally sound (async pairs
 // balance; tracecheck does the deeper validation in CI).
 func TestWriteChromeDeterministic(t *testing.T) {
