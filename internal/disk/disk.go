@@ -227,14 +227,20 @@ type Injector interface {
 // helpers, which are timeless test/recovery-verification accessors).
 type Disk struct {
 	params Params
-	env    *sim.Env
-	arm    *sim.Resource
+	//lint:allow snapshotguard env is kernel wiring rebound by Reattach, not drive state
+	env *sim.Env
+	//lint:allow snapshotguard arm is a kernel resource recreated by Reattach; idle whenever a snapshot is legal
+	arm *sim.Resource
 
 	armCyl, armHead int
 	lastCmdEnd      sim.Time
 
-	rotPeriod           time.Duration
-	seekA, seekB, seekC float64 // seek curve coefficients over sqrt(d) basis
+	rotPeriod time.Duration
+	// seek curve coefficients over sqrt(d) basis; derived by fitSeekCurve
+	// from the calibration points in params, so a restored drive refits to
+	// identical values from the identity-checked params.
+	//lint:allow snapshotguard seekA/B/C are refit from params at construction; the mid-run SeekDeratePPM knob is snapshotted
+	seekA, seekB, seekC float64
 
 	media map[int64][]byte
 	stats Stats

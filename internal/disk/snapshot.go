@@ -17,9 +17,13 @@ const diskSnapKind = "disk.Disk"
 // and every written sector in LBA order. The encoding is byte-deterministic,
 // so two drives in the same state snapshot identically.
 func (d *Disk) Snapshot() []byte {
-	w := snapshot.NewWriter(diskSnapKind, 1)
+	w := snapshot.NewWriter(diskSnapKind, 2)
 	w.String(d.params.Name)
 	w.I64(d.params.Geom.TotalSectors())
+	// SeekDeratePPM is the one Params knob that can change mid-run
+	// (SetSeekDeratePPM models aging hardware); a restored drive must seek
+	// at the captured drive's speed or replayed timings diverge.
+	w.I64(d.params.SeekDeratePPM)
 	w.Int(d.armCyl)
 	w.Int(d.armHead)
 	w.I64(int64(d.lastCmdEnd))
@@ -52,12 +56,13 @@ func (d *Disk) Snapshot() []byte {
 // nothing with the snapshot's source — the isolation the crash explorer's
 // branches rely on. The drive must be idle (no command holding the arm).
 func (d *Disk) Restore(data []byte) error {
-	r, err := snapshot.NewReader(data, diskSnapKind, 1)
+	r, err := snapshot.NewReader(data, diskSnapKind, 2)
 	if err != nil {
 		return err
 	}
 	name := r.StringVal()
 	total := r.I64()
+	deratePPM := r.I64()
 	armCyl := r.Int()
 	armHead := r.Int()
 	lastCmdEnd := r.I64()
@@ -99,6 +104,7 @@ func (d *Disk) Restore(data []byte) error {
 	if d.arm.InUse() > 0 {
 		return fmt.Errorf("%w: disk %s has a command in flight", snapshot.ErrNotQuiescent, d.params.Name)
 	}
+	d.params.SeekDeratePPM = deratePPM
 	d.armCyl = armCyl
 	d.armHead = armHead
 	d.lastCmdEnd = sim.Time(lastCmdEnd)

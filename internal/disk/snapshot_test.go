@@ -1,0 +1,52 @@
+package disk
+
+import (
+	"testing"
+
+	"tracklog/internal/geom"
+	"tracklog/internal/sim"
+)
+
+// Regression: SeekDeratePPM is the one Params knob mutable mid-run
+// (SetSeekDeratePPM models aging hardware, PR 9's slowshard scenarios), and
+// the v1 codec silently dropped it — a restored drive seeked at factory
+// speed while the captured one was derated, so replayed timings diverged.
+func TestSnapshotCarriesSeekDerate(t *testing.T) {
+	env := sim.NewEnv()
+	defer env.Close()
+	d := New(env, smallParams())
+	env.Go("writer", func(p *sim.Proc) {
+		data := make([]byte, 4*geom.SectorSize)
+		if res := d.Access(p, &Request{Write: true, LBA: 0, Count: 4, Data: data}); res.Err != nil {
+			t.Errorf("write: %v", res.Err)
+		}
+	})
+	env.Run()
+	d.SetSeekDeratePPM(250_000)
+	snap := d.Snapshot()
+
+	env2 := sim.NewEnv()
+	defer env2.Close()
+	d2 := New(env2, smallParams())
+	if err := d2.Restore(snap); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if got := d2.Params().SeekDeratePPM; got != 250_000 {
+		t.Fatalf("restored SeekDeratePPM = %d, want 250000", got)
+	}
+
+	// The derate must be mechanically effective, not just recorded: the
+	// restored drive's long seek costs what the derated source's does, and
+	// more than a factory-fresh drive's.
+	dist := smallParams().Geom.Cylinders - 1
+	if s1, s2 := d.SeekTime(dist), d2.SeekTime(dist); s1 != s2 {
+		t.Fatalf("seek time diverged after restore: source %v, restored %v", s1, s2)
+	}
+	env3 := sim.NewEnv()
+	defer env3.Close()
+	fresh := New(env3, smallParams())
+	if d2.SeekTime(dist) <= fresh.SeekTime(dist) {
+		t.Fatalf("restored seek %v not slower than factory %v despite 25%% derate",
+			d2.SeekTime(dist), fresh.SeekTime(dist))
+	}
+}

@@ -1,7 +1,6 @@
 package lint
 
 import (
-	"fmt"
 	"go/ast"
 	"go/types"
 	"path/filepath"
@@ -19,14 +18,19 @@ import (
 //     the wall clock by any import in the binary; crypto/rand is
 //     nondeterministic by design.
 //
-//  2. Ranging over a map directly into an output sink is flagged. Map
-//     iteration order is randomized per run, so any fmt print, JSON/CSV
-//     writer, buffered writer or Chrome trace emission inside a map-range
-//     body produces run-dependent bytes. Collect the keys, sort them, and
-//     range the sorted slice instead. The check is syntactic (sinks
-//     reached through a helper call are not traced), which keeps it
-//     predictable; the exporters it guards are all written in the direct
-//     style.
+//  2. Ranging over a map into an output sink is flagged. Map iteration
+//     order is randomized per run, so any fmt print, JSON/CSV writer,
+//     buffered writer or Chrome trace emission inside a map-range body
+//     produces run-dependent bytes. Collect the keys, sort them, and range
+//     the sorted slice instead. The check is whole-program: a sink reached
+//     through a helper call (or a chain of them) is traced over the call
+//     graph and reported with the witness chain.
+//
+// Both rules have an interprocedural half built on the call-graph engine:
+// a function with no direct banned-rand reference whose call graph still
+// reaches one is flagged at its first offending call edge (the sanctioned
+// generator internal/sim/rand.go does not seed taint — drawing from
+// sim.Rand is the fix, not a finding).
 var Determinism = &Analyzer{
 	Name: "determinism",
 	Doc:  "forbid math/rand outside internal/sim and map-range iteration into output sinks",
@@ -54,7 +58,60 @@ func runDeterminism(pass *Pass) error {
 		checkRandImports(pass, file)
 		checkMapRangeSinks(pass, file)
 	}
+	reportIndirectRand(pass)
 	return nil
+}
+
+// reportIndirectRand flags functions with no banned-rand reference of their
+// own whose call graph reaches one (outside the exempt generator).
+func reportIndirectRand(pass *Pass) {
+	chains := pass.Prog.randTaint()
+	for _, fid := range pass.Prog.FuncsOfPackage(pass.CurPkg) {
+		fi := pass.Prog.Funcs[fid]
+		if len(fi.RandRefs) > 0 {
+			continue // a leaf: the direct import check owns it
+		}
+		if c := firstTaintedCall(fi, chains); c != nil {
+			pass.Reportf(c.Pos,
+				"call reaches a banned rand package (%s); draw randomness from sim.Rand (internal/sim/rand.go)",
+				renderChain(chains[c.ID]))
+		}
+	}
+}
+
+// randTaint seeds the caller-ward taint closure with every banned-rand
+// reference outside the exempt generator file.
+func (prog *Program) randTaint() map[string][]string {
+	if prog.randChains == nil {
+		seeds := make(map[string]string)
+		for id, fi := range prog.Funcs {
+			if len(fi.RandRefs) == 0 {
+				continue
+			}
+			if NormalizePath(fi.Pkg.ImportPath) == randExemptPath &&
+				filepath.Base(fi.Pkg.Fset.Position(fi.RandRefs[0]).Filename) == randExemptFile {
+				continue
+			}
+			seeds[id] = "banned rand"
+		}
+		prog.randChains = prog.taintCallers(seeds)
+	}
+	return prog.randChains
+}
+
+// sinkTaint seeds the caller-ward taint closure with every direct
+// output-sink call, for the helper-mediated map-range check.
+func (prog *Program) sinkTaint() map[string][]string {
+	if prog.sinkChains == nil {
+		seeds := make(map[string]string)
+		for id, fi := range prog.Funcs {
+			if len(fi.SinkCalls) > 0 {
+				seeds[id] = fi.SinkCalls[0].Sink
+			}
+		}
+		prog.sinkChains = prog.taintCallers(seeds)
+	}
+	return prog.sinkChains
 }
 
 func checkRandImports(pass *Pass, file *ast.File) {
@@ -90,7 +147,12 @@ func checkMapRangeSinks(pass *Pass, file *ast.File) {
 		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
 			return true
 		}
+		chains := pass.Prog.sinkTaint()
+		done := false
 		ast.Inspect(rng.Body, func(inner ast.Node) bool {
+			if done {
+				return false
+			}
 			call, ok := inner.(*ast.CallExpr)
 			if !ok {
 				return true
@@ -99,7 +161,19 @@ func checkMapRangeSinks(pass *Pass, file *ast.File) {
 				pass.Reportf(rng.For,
 					"map iteration order is randomized, but this range body reaches output sink %s; collect the keys, sort them, and range the sorted slice",
 					sink)
+				done = true
 				return false
+			}
+			// Helper-mediated: the callee is not a sink itself but its call
+			// graph reaches one.
+			if callee := pass.calleeFunc(call); callee != nil {
+				if chain := chains[FuncID(callee)]; chain != nil {
+					pass.Reportf(rng.For,
+						"map iteration order is randomized, but this range body reaches output sink via helper (%s); collect the keys, sort them, and range the sorted slice",
+						renderChain(chain))
+					done = true
+					return false
+				}
 			}
 			return true
 		})
@@ -108,62 +182,9 @@ func checkMapRangeSinks(pass *Pass, file *ast.File) {
 }
 
 // sinkName reports the human-readable name of the output sink a call
-// targets, or "" if the call is not a sink.
+// targets, or "" if the call is not a sink. The classification itself lives
+// in sinkNameFromFunc (callgraph.go), shared with the whole-program
+// summaries.
 func sinkName(pass *Pass, call *ast.CallExpr) string {
-	fn := pass.calleeFunc(call)
-	if fn == nil || fn.Pkg() == nil {
-		return ""
-	}
-	pkg, name := fn.Pkg().Path(), fn.Name()
-
-	// Package-level print/write functions.
-	switch pkg {
-	case "fmt":
-		switch name {
-		case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
-			return "fmt." + name
-		}
-	case "io":
-		if name == "WriteString" {
-			return "io.WriteString"
-		}
-	case "os":
-		if name == "WriteFile" {
-			return "os.WriteFile"
-		}
-	}
-
-	// Methods on writer types.
-	recv := fn.Type().(*types.Signature).Recv()
-	if recv == nil {
-		return ""
-	}
-	rt := recv.Type()
-	if ptr, ok := rt.(*types.Pointer); ok {
-		rt = ptr.Elem()
-	}
-	named, ok := rt.(*types.Named)
-	if !ok || named.Obj().Pkg() == nil {
-		return ""
-	}
-	recvName := fmt.Sprintf("%s.%s", named.Obj().Pkg().Path(), named.Obj().Name())
-	switch recvName {
-	case "encoding/json.Encoder":
-		if name == "Encode" {
-			return "json.Encoder.Encode"
-		}
-	case "encoding/csv.Writer":
-		if name == "Write" || name == "WriteAll" {
-			return "csv.Writer." + name
-		}
-	case "bufio.Writer", "bytes.Buffer", "strings.Builder":
-		if strings.HasPrefix(name, "Write") {
-			return fmt.Sprintf("%s.%s", named.Obj().Name(), name)
-		}
-	}
-	// Any method on the deterministic trace writer is an emission.
-	if NormalizePath(named.Obj().Pkg().Path()) == "tracklog/internal/trace" && named.Obj().Name() == "ChromeWriter" {
-		return "trace.ChromeWriter." + name
-	}
-	return ""
+	return sinkNameFromFunc(pass.calleeFunc(call))
 }

@@ -50,25 +50,43 @@ type Analyzer struct {
 
 	// Run inspects one package and reports findings via pass.Reportf.
 	Run func(pass *Pass) error
+
+	// NeedWholeProgram marks analyzers whose findings assert the *absence*
+	// of something in a call-graph closure (a field never encoded, a probe
+	// never emitted). On a partial program — go vet's one-unit-at-a-time
+	// view — the closure is truncated at package boundaries and absence
+	// becomes a false positive, so unit mode skips these; run trailcheck
+	// standalone over ./... for the full suite. Analyzers that only *trace*
+	// reachability (virtualtime, determinism, sharedstate) merely
+	// under-report on a partial graph and stay enabled everywhere.
+	NeedWholeProgram bool
 }
 
-// All returns the full trailcheck suite in stable order.
+// All returns the full trailcheck suite in stable order: the four
+// per-package passes of PR 5, then the whole-program analyzers built on the
+// call-graph engine (callgraph.go).
 func All() []*Analyzer {
-	return []*Analyzer{VirtualTime, Determinism, ErrTaxonomy, NilGuard}
+	return []*Analyzer{VirtualTime, Determinism, ErrTaxonomy, NilGuard, SnapshotGuard, SharedState, ProbeGuard}
 }
 
 // ByName resolves a comma-separated analyzer list ("virtualtime,nilguard").
+// Unknown names, duplicates, and an effectively empty list are errors.
 func ByName(names string) ([]*Analyzer, error) {
 	var out []*Analyzer
+	picked := make(map[string]bool)
 	for _, n := range strings.Split(names, ",") {
 		n = strings.TrimSpace(n)
 		if n == "" {
 			continue
 		}
+		if picked[n] {
+			return nil, fmt.Errorf("duplicate analyzer %q", n)
+		}
 		found := false
 		for _, a := range All() {
 			if a.Name == n {
 				out = append(out, a)
+				picked[n] = true
 				found = true
 				break
 			}
@@ -96,6 +114,18 @@ type Pass struct {
 	// matched against the same per-package configuration (simulated-path
 	// sets, allowlists, home packages) as the real tree.
 	Path string
+
+	// Prog is the whole-program view over every package of this Run. The
+	// whole-program analyzers (snapshotguard, sharedstate, probeguard) and
+	// the interprocedural halves of virtualtime/determinism resolve
+	// cross-function facts through it; per-package analyzers may ignore it.
+	// Each analyzer still runs once per package and must only report
+	// diagnostics anchored in that package.
+	Prog *Program
+
+	// CurPkg is the *Package this pass inspects (the same object Prog's
+	// summaries point at via FuncInfo.Pkg).
+	CurPkg *Package
 
 	diags *[]Diagnostic
 }
@@ -135,10 +165,17 @@ func NormalizePath(importPath string) string {
 // Run applies each analyzer to each package, filters //lint:allow
 // suppressions, and returns the surviving diagnostics in deterministic
 // order (file, line, column, analyzer, message).
+//
+// Before the per-package passes run, the whole tree is linked into one
+// Program (call graph, method sets, field/var summaries) shared by every
+// pass via Pass.Prog, so analyzers can resolve facts across package
+// boundaries. Suppressions are likewise collected across every package
+// first: a whole-program finding is anchored at a source position that may
+// be suppressed in a different package than the one naming it.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	prog := BuildProgram(pkgs)
 	var all []Diagnostic
 	for _, pkg := range pkgs {
-		var diags []Diagnostic
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer: a,
@@ -147,15 +184,16 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
 				Path:     NormalizePath(pkg.ImportPath),
-				diags:    &diags,
+				Prog:     prog,
+				CurPkg:   pkg,
+				diags:    &all,
 			}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.ImportPath, err)
 			}
 		}
-		diags = applySuppressions(pkg, diags)
-		all = append(all, diags...)
 	}
+	all = applySuppressions(pkgs, all)
 	sort.Slice(all, func(i, j int) bool {
 		a, b := all[i], all[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -175,21 +213,37 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	return all, nil
 }
 
-// allowDirective is a parsed //lint:allow comment.
-type allowDirective struct {
-	analyzer string
-	reason   string
-	pos      token.Position
-	own      bool // comment shares its line with code (suppresses that line)
-}
-
 const allowPrefix = "//lint:allow"
+
+// ParseAllowDirective parses one comment's text as a //lint:allow
+// directive. notOurs is true when the comment is not a directive at all
+// (ordinary comments, //lint:allowed). A directive with a missing analyzer
+// or reason parses with malformed=true; otherwise analyzer and reason carry
+// the parsed fields. The analyzer name is NOT validated against the suite
+// here — the caller decides what names it knows.
+func ParseAllowDirective(text string) (analyzer, reason string, malformed, notOurs bool) {
+	if !strings.HasPrefix(text, allowPrefix) {
+		return "", "", false, true
+	}
+	rest := strings.TrimPrefix(text, allowPrefix)
+	if rest != "" && !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "\t") {
+		return "", "", false, true // e.g. //lint:allowed — not our directive
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		return "", "", true, false
+	}
+	return fields[0], strings.Join(fields[1:], " "), false, false
+}
 
 // applySuppressions drops diagnostics covered by a well-formed
 // //lint:allow directive on the same line or the line directly above, and
 // reports malformed directives (missing analyzer or reason) as
-// "lintdirective" findings so escapes stay auditable.
-func applySuppressions(pkg *Package, diags []Diagnostic) []Diagnostic {
+// "lintdirective" findings so escapes stay auditable. Directives from every
+// package are collected before filtering: whole-program analyzers anchor
+// findings at declarations that may live in another package than the one
+// that surfaced them.
+func applySuppressions(pkgs []*Package, diags []Diagnostic) []Diagnostic {
 	// (file, line) -> analyzers suppressed on that line.
 	type key struct {
 		file string
@@ -206,46 +260,44 @@ func applySuppressions(pkg *Package, diags []Diagnostic) []Diagnostic {
 		suppressed[k][analyzer] = true
 	}
 
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				if !strings.HasPrefix(c.Text, allowPrefix) {
-					continue
-				}
-				rest := strings.TrimPrefix(c.Text, allowPrefix)
-				pos := pkg.Fset.Position(c.Pos())
-				if rest != "" && !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "\t") {
-					continue // e.g. //lint:allowed — not our directive
-				}
-				fields := strings.Fields(rest)
-				if len(fields) < 2 {
-					out = append(out, Diagnostic{
-						Pos:      pos,
-						Analyzer: "lintdirective",
-						Message:  "malformed //lint:allow: want \"//lint:allow <analyzer> <reason>\" (reason is mandatory)",
-					})
-					continue
-				}
-				analyzer := fields[0]
-				known := false
-				for _, a := range All() {
-					if a.Name == analyzer {
-						known = true
-						break
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					analyzer, _, malformed, notOurs := ParseAllowDirective(c.Text)
+					if notOurs {
+						continue
 					}
+					pos := pkg.Fset.Position(c.Pos())
+					if malformed {
+						out = append(out, Diagnostic{
+							Pos:      pos,
+							Analyzer: "lintdirective",
+							Message:  "malformed //lint:allow: want \"//lint:allow <analyzer> <reason>\" (reason is mandatory)",
+						})
+						continue
+					}
+					known := false
+					for _, a := range All() {
+						if a.Name == analyzer {
+							known = true
+							break
+						}
+					}
+					if !known {
+						out = append(out, Diagnostic{
+							Pos:      pos,
+							Analyzer: "lintdirective",
+							Message:  fmt.Sprintf("//lint:allow names unknown analyzer %q", analyzer),
+						})
+						continue
+					}
+					// Suppress the directive's own line and the line below,
+					// so both trailing-comment and comment-above styles
+					// work.
+					add(pos.Filename, pos.Line, analyzer)
+					add(pos.Filename, pos.Line+1, analyzer)
 				}
-				if !known {
-					out = append(out, Diagnostic{
-						Pos:      pos,
-						Analyzer: "lintdirective",
-						Message:  fmt.Sprintf("//lint:allow names unknown analyzer %q", analyzer),
-					})
-					continue
-				}
-				// Suppress the directive's own line and the line below, so
-				// both trailing-comment and comment-above styles work.
-				add(pos.Filename, pos.Line, analyzer)
-				add(pos.Filename, pos.Line+1, analyzer)
 			}
 		}
 	}
@@ -257,6 +309,43 @@ func applySuppressions(pkg *Package, diags []Diagnostic) []Diagnostic {
 		out = append(out, d)
 	}
 	return out
+}
+
+// allowedAt reports whether a well-formed //lint:allow directive for the
+// named analyzer covers (file, line) anywhere in the program. The
+// interprocedural passes use it to decide whether a sanctioned use site
+// should seed taint propagation.
+func (prog *Program) allowedAt(analyzer, file string, line int) bool {
+	prog.buildAllowIndex()
+	return prog.allowIndex[allowKey{file, line, analyzer}]
+}
+
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+func (prog *Program) buildAllowIndex() {
+	if prog.allowIndex != nil {
+		return
+	}
+	prog.allowIndex = make(map[allowKey]bool)
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					analyzer, _, malformed, notOurs := ParseAllowDirective(c.Text)
+					if notOurs || malformed {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					prog.allowIndex[allowKey{pos.Filename, pos.Line, analyzer}] = true
+					prog.allowIndex[allowKey{pos.Filename, pos.Line + 1, analyzer}] = true
+				}
+			}
+		}
+	}
 }
 
 // enclosingFuncName returns the name of the innermost function declaration

@@ -20,18 +20,40 @@ func TestNormalizePath(t *testing.T) {
 }
 
 func TestByName(t *testing.T) {
-	as, err := ByName("virtualtime,nilguard")
-	if err != nil {
-		t.Fatal(err)
+	cases := []struct {
+		name   string
+		arg    string
+		want   []string // expected analyzer names in order (when errSub is empty)
+		errSub string   // non-empty: the error must contain this
+	}{
+		{name: "subset keeps request order", arg: "virtualtime,nilguard", want: []string{"virtualtime", "nilguard"}},
+		{name: "whitespace tolerated", arg: " determinism , probeguard ", want: []string{"determinism", "probeguard"}},
+		{name: "single analyzer", arg: "snapshotguard", want: []string{"snapshotguard"}},
+		{name: "empty list", arg: "", errSub: "empty analyzer list"},
+		{name: "only separators", arg: " , ,", errSub: "empty analyzer list"},
+		{name: "unknown analyzer", arg: "nosuch", errSub: `unknown analyzer "nosuch"`},
+		{name: "duplicate analyzer", arg: "virtualtime,determinism,virtualtime", errSub: `duplicate analyzer "virtualtime"`},
 	}
-	if len(as) != 2 || as[0].Name != "virtualtime" || as[1].Name != "nilguard" {
-		t.Fatalf("ByName returned %v", as)
-	}
-	if _, err := ByName("nosuch"); err == nil {
-		t.Fatal("ByName accepted an unknown analyzer")
-	}
-	if _, err := ByName(""); err == nil {
-		t.Fatal("ByName accepted an empty list")
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			as, err := ByName(tc.arg)
+			if tc.errSub != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.errSub) {
+					t.Fatalf("ByName(%q) err = %v, want containing %q", tc.arg, err, tc.errSub)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ByName(%q): %v", tc.arg, err)
+			}
+			got := make([]string, len(as))
+			for i, a := range as {
+				got[i] = a.Name
+			}
+			if strings.Join(got, ",") != strings.Join(tc.want, ",") {
+				t.Fatalf("ByName(%q) = %v, want %v", tc.arg, got, tc.want)
+			}
+		})
 	}
 }
 

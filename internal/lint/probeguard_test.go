@@ -1,0 +1,15 @@
+package lint
+
+import "testing"
+
+func TestProbeGuardFixture(t *testing.T) {
+	// Positive: a Device implementation and a durable log that never reach
+	// an emission. Negative: helper-mediated emission, a pure relay device,
+	// and a paired write-back flight.
+	RunFixture(t, "testdata/src/tracklog/internal/probeg", ProbeGuard)
+}
+
+func TestProbeGuardWBPairingFixture(t *testing.T) {
+	// A package emitting ProbeWBStart with no ProbeWBEnd anywhere.
+	RunFixture(t, "testdata/src/tracklog/internal/wbflight", ProbeGuard)
+}

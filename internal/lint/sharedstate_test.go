@@ -1,0 +1,10 @@
+package lint
+
+import "testing"
+
+func TestSharedStateFixture(t *testing.T) {
+	// Positive: a package var mutated from two env.Go roots, directly and
+	// through a shared helper. Negative: a single-root var, a setup-only
+	// write outside every root's closure, and suppressed sites.
+	RunFixture(t, "testdata/src/tracklog/internal/sharedst", SharedState)
+}

@@ -1,0 +1,179 @@
+package lint
+
+import (
+	"sort"
+	"strings"
+)
+
+// SnapshotGuard enforces snapshot completeness: every stateful field of a
+// type whose method set implements snapshot.Snapshotter must be referenced
+// on both its encode (Snapshot) and decode (Restore) paths, transitively
+// through helpers. A field the simulation mutates but the codec silently
+// skips corrupts crash exploration and resume — the restored world diverges
+// from the checkpointed one with no error anywhere.
+//
+// The analysis is whole-program: the encode/decode paths are the call-graph
+// closures of the Snapshot/Restore methods (static calls, contained
+// literals, RTA-resolved interface dispatch), so fields handled by
+// encodeFooStats-style helpers are found wherever the helper lives. A field
+// counts as *stateful* when some function outside those closures — and
+// outside constructor/wiring writers (New*/Open*/Set*/Register*/Attach*/
+// init...) — writes it: state that only ever changes during construction is
+// configuration, which the codec may legitimately rebuild instead of
+// serialize. Fields whose type is inherently non-serializable wiring
+// (funcs, channels, interfaces) are skipped.
+//
+// Genuinely derived or transient fields are suppressed at the field
+// declaration with //lint:allow snapshotguard <reason>.
+var SnapshotGuard = &Analyzer{
+	Name:             "snapshotguard",
+	Doc:              "every stateful field of a snapshot.Snapshotter implementation must round-trip through both Snapshot and Restore",
+	Run:              runSnapshotGuard,
+	NeedWholeProgram: true,
+}
+
+// snapshotterShape is the structural signature of snapshot.Snapshotter,
+// matched against normalized method signatures so implementations are
+// recognized across type-checker universes.
+var snapshotterShape = map[string]string{
+	"Snapshot": "func() []byte",
+	"Restore":  "func([]byte) error",
+}
+
+// wiringWriterPrefixes name the function-name prefixes whose field writes do
+// not make a field stateful: constructors and wiring installers run before
+// (or outside) the simulation whose state the snapshot must capture.
+var wiringWriterPrefixes = []string{
+	"New", "new", "Make", "make", "Open", "open",
+	"Set", "set", "Register", "register", "Attach", "attach",
+	"Init", "init",
+}
+
+func runSnapshotGuard(pass *Pass) error {
+	if !strings.HasPrefix(pass.Path, "tracklog") {
+		return nil
+	}
+	prog := pass.Prog
+	for _, tid := range sortedTypeIDs(prog, pass.CurPkg) {
+		ti := prog.Types[tid]
+		if len(ti.Fields) == 0 || !ti.Implements(snapshotterShape) {
+			continue
+		}
+		encode := prog.Reach([]string{ti.Methods["Snapshot"]}, true)
+		decode := prog.Reach([]string{ti.Methods["Restore"]}, true)
+
+		encRefs, decRefs := make(map[string]bool), make(map[string]bool)
+		// witness maps field name -> one runtime mutation site outside the
+		// codec closures, proving the field is live state.
+		witness := make(map[string]string)
+		for _, fid := range sortedFuncIDs(prog) {
+			fi := prog.Funcs[fid]
+			inEnc, inDec := encode[fid], decode[fid]
+			wiring := isWiringWriter(fid)
+			for _, fr := range fi.FieldRefs {
+				if fr.Type != ti.ID {
+					continue
+				}
+				if inEnc {
+					encRefs[fr.Field] = true
+				}
+				if inDec {
+					decRefs[fr.Field] = true
+				}
+				if fr.Write && !inEnc && !inDec && !wiring {
+					if _, ok := witness[fr.Field]; !ok {
+						witness[fr.Field] = DisplayName(fid)
+					}
+				}
+			}
+		}
+
+		for _, f := range ti.Fields {
+			if f.Embedded || f.Wiring {
+				continue
+			}
+			w, stateful := witness[f.Name]
+			if !stateful {
+				continue
+			}
+			var missing []string
+			if !encRefs[f.Name] {
+				missing = append(missing, "Snapshot")
+			}
+			if !decRefs[f.Name] {
+				missing = append(missing, "Restore")
+			}
+			if len(missing) == 0 {
+				continue
+			}
+			pass.Reportf(f.Pos,
+				"field %s.%s is mutated at runtime (e.g. in %s) but never referenced on the %s path; a skipped field silently corrupts crash exploration and resume (//lint:allow snapshotguard <reason> if genuinely derived/transient)",
+				ti.Name, f.Name, w, strings.Join(missing, " and "))
+		}
+	}
+	return nil
+}
+
+// isWiringWriter reports whether the function with this ID is a
+// constructor/wiring installer whose field writes do not count as runtime
+// state mutation. Function literals inherit the classification of their
+// enclosing declaration.
+func isWiringWriter(id string) bool {
+	name := funcBaseName(id)
+	if name == "main" {
+		return true // binary setup code wires worlds before the run
+	}
+	for _, p := range wiringWriterPrefixes {
+		if strings.HasPrefix(name, p) {
+			rest := name[len(p):]
+			// "New", "Setup", "SetRecorder" qualify; "news"/"settle" do not:
+			// the prefix must end the name or be followed by an upper-case
+			// letter (or another word for the all-lower prefixes is fine too,
+			// but only when the boundary is upper-case — keep it strict).
+			if rest == "" || rest[0] >= 'A' && rest[0] <= 'Z' {
+				return true
+			}
+			if p == "init" && strings.HasPrefix(rest, "ialize") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// funcBaseName extracts the declared function name from a normalized
+// function ID, attributing literals ("....flushLog.func@412") to their
+// enclosing declaration.
+func funcBaseName(id string) string {
+	if i := strings.Index(id, ".func@"); i >= 0 {
+		id = id[:i]
+	}
+	if i := strings.LastIndex(id, "."); i >= 0 {
+		return id[i+1:]
+	}
+	return id
+}
+
+// sortedTypeIDs returns the IDs of every named type declared in pkg, in
+// deterministic order.
+func sortedTypeIDs(prog *Program, pkg *Package) []string {
+	var out []string
+	for id, ti := range prog.Types {
+		if ti.Pkg == pkg {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// sortedFuncIDs returns every function ID in the program in deterministic
+// order.
+func sortedFuncIDs(prog *Program) []string {
+	out := make([]string, 0, len(prog.Funcs))
+	for id := range prog.Funcs {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

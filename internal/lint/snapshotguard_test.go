@@ -1,0 +1,11 @@
+package lint
+
+import "testing"
+
+func TestSnapshotGuardFixture(t *testing.T) {
+	// Positive: a field encoded by a helper but forgotten on decode, and a
+	// field in neither closure. Negative: a field round-tripping entirely
+	// through helpers, constructor-only configuration, wiring fields, an
+	// //lint:allow-suppressed derived field, and a non-Snapshotter type.
+	RunFixture(t, "testdata/src/tracklog/internal/snapguard", SnapshotGuard)
+}

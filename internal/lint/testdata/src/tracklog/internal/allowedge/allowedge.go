@@ -1,0 +1,48 @@
+// Package allowedge pins the //lint:allow placement rules: a directive
+// covers its own line or the line directly below it, nothing further, and
+// it silences only the analyzer it names.
+package allowedge
+
+import (
+	"fmt"
+	"time"
+)
+
+// Both placements cover the site.
+func placement() {
+	//lint:allow virtualtime fixture: directive on the line above
+	_ = time.Now()
+	_ = time.Now() //lint:allow virtualtime fixture: trailing same-line directive
+}
+
+// A directive with a blank line in between covers nothing.
+func gapped() {
+	//lint:allow virtualtime fixture: too far from the site to apply
+
+	_ = time.Now() // want `time\.Now reads the wall clock`
+}
+
+// A directive for one analyzer does not silence another on the same line.
+func wrongAnalyzer(m map[int]int) {
+	//lint:allow determinism fixture: names the wrong analyzer for this site
+	_ = time.Now() // want `time\.Now reads the wall clock`
+	_ = m
+}
+
+// Two analyzers fire inside one function; each finding needs (and has) its
+// own directive at its own anchor line.
+func multi(m map[int]int) {
+	//lint:allow determinism fixture: map-range sink is the point of the test
+	for range m {
+		fmt.Println(time.Now()) //lint:allow virtualtime fixture: wall stamp is the point of the test
+	}
+}
+
+// stacked carries two directives — one above the line, one trailing — for
+// different analyzers, both targeting the time.Now line below. The
+// one-line-two-analyzers behaviour is pinned by a synthetic-diagnostics
+// test in lint_test.go, which plants a determinism finding on that line.
+func stacked() {
+	//lint:allow determinism above-line half of a stacked pair
+	_ = time.Now() //lint:allow virtualtime same-line half of a stacked pair
+}

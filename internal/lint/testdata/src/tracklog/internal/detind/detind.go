@@ -1,0 +1,46 @@
+// Package detind is the interprocedural determinism fixture: banned rand is
+// reached across a package boundary, and a map-range body reaches an output
+// sink only through a helper call — both invisible to the old
+// intraprocedural pass.
+package detind
+
+import (
+	"fmt"
+	"sort"
+
+	"tracklog/internal/lint/testdata/src/tracklog/internal/detind/entropy"
+)
+
+// pick has no rand reference of its own; its call graph crosses into the
+// entropy package to reach one.
+func pick() int {
+	return entropy.Roll() // want `call reaches a banned rand package \(banned rand\)`
+}
+
+// jitter is two hops from the leaf; the witness chain names the path.
+func jitter() int {
+	return pick() // want `call reaches a banned rand package \(entropy\.Roll -> banned rand\)`
+}
+
+// dump is the helper that hides the sink from the range body.
+func dump(k string, v int) {
+	fmt.Printf("%s=%d\n", k, v)
+}
+
+func emit(m map[string]int) {
+	for k, v := range m { // want `map iteration order is randomized, but this range body reaches output sink via helper \(fmt\.Printf\)`
+		dump(k, v)
+	}
+}
+
+// emitSorted ranges a sorted slice: same helper, no map-order dependence.
+func emitSorted(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		dump(k, m[k])
+	}
+}

@@ -1,0 +1,9 @@
+// Package entropy is the banned-rand leaf of the interprocedural
+// determinism fixture: it imports math/rand directly (its own finding) and
+// exports Roll for the parent package to reach indirectly.
+package entropy
+
+import "math/rand" // want `import of math/rand breaks reproducibility`
+
+// Roll draws from the reseedable global source.
+func Roll() int { return rand.Intn(6) }

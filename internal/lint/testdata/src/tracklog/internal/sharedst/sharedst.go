@@ -1,0 +1,49 @@
+// Package sharedst is a sharedstate fixture: two event-handler roots mutate
+// one package-level counter — once directly, once through a shared helper —
+// which blocks conservative-parallel DES. The fixture imports the real
+// tracklog/internal/sim so env.Go spawns are recognized as roots.
+package sharedst
+
+import "tracklog/internal/sim"
+
+// total is racy: both handlerA (via account) and handlerB (directly and via
+// account) mutate it.
+var total int
+
+// local is mutated from exactly one root: not shared, not reported.
+var local int
+
+// setupOnly is written before the event loop, never on a root's path.
+var setupOnly int
+
+// audit is shared too, but both sites carry a justified escape.
+var audit int
+
+// Boot wires the world; it is not itself a root.
+func Boot(env *sim.Env) {
+	setupOnly = 1
+	env.Go("a", handlerA)
+	env.Go("b", handlerB)
+	env.Go("c", func(p *sim.Proc) {
+		local++
+	})
+}
+
+func handlerA(p *sim.Proc) {
+	account()
+	//lint:allow sharedstate fixture: counter read only after env.Run returns
+	audit++
+}
+
+func handlerB(p *sim.Proc) {
+	account()
+	total++ // want `package-level var sharedst\.total is mutated on 2 event-handler roots \(sharedst\.handlerA, sharedst\.handlerB\)`
+	//lint:allow sharedstate fixture: counter read only after env.Run returns
+	audit++
+}
+
+// account is the helper hop an intraprocedural pass cannot attribute to
+// either handler.
+func account() {
+	total++ // want `package-level var sharedst\.total is mutated on 2 event-handler roots \(sharedst\.handlerA, sharedst\.handlerB\)`
+}

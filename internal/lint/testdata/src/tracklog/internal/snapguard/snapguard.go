@@ -1,0 +1,81 @@
+// Package snapguard is a snapshotguard fixture. Counter implements the
+// snapshot.Snapshotter shape structurally (no import needed); its codec
+// runs through encodeStats/decodeStats helpers, so only a whole-program
+// pass can tell which fields actually round-trip.
+package snapguard
+
+// Counter is live simulation state with a helper-mediated codec.
+type Counter struct {
+	// seq round-trips through encodeStats and decodeStats: clean, even
+	// though neither Snapshot nor Restore mentions it directly.
+	seq int64
+
+	count int64 // want `field Counter\.count is mutated at runtime \(e\.g\. in snapguard\.Bump\) but never referenced on the Restore path`
+
+	lost int64 // want `field Counter\.lost is mutated at runtime \(e\.g\. in snapguard\.Bump\) but never referenced on the Snapshot and Restore path`
+
+	// cache is derived and rebuilt on first use; the escape hatch covers it.
+	//lint:allow snapshotguard derived cache rebuilt lazily after restore
+	cache int64
+
+	// name is configuration: written only by the constructor, so it is not
+	// runtime state and the codec may rebuild it instead of serialize it.
+	name string
+
+	// notify is wiring (a func can never round-trip through a codec).
+	notify func()
+}
+
+// New wires a Counter; constructor writes do not make fields stateful.
+func New(name string, notify func()) *Counter {
+	return &Counter{name: name, notify: notify}
+}
+
+// Bump is the runtime mutator that makes the fields above stateful.
+func Bump(c *Counter) {
+	c.seq++
+	c.count++
+	c.lost++
+	c.cache++
+}
+
+// Snapshot delegates the whole encode to a helper.
+func (c *Counter) Snapshot() []byte { return encodeStats(nil, c) }
+
+// encodeStats is one hop below Snapshot: an intraprocedural pass looking
+// only at Snapshot's body would think no field is encoded at all.
+func encodeStats(out []byte, c *Counter) []byte {
+	out = appendI64(out, c.seq)
+	out = appendI64(out, c.count)
+	return out
+}
+
+// Restore delegates to decodeStats, which forgets count.
+func (c *Counter) Restore(data []byte) error {
+	decodeStats(c, data)
+	return nil
+}
+
+func decodeStats(c *Counter, data []byte) {
+	c.seq = readI64(data, 0)
+}
+
+// scratch has mutated fields but is not a Snapshotter: out of scope.
+type scratch struct{ n int }
+
+func grow(s *scratch) { s.n++ }
+
+func appendI64(out []byte, v int64) []byte {
+	for i := 0; i < 8; i++ {
+		out = append(out, byte(v>>uint(8*i)))
+	}
+	return out
+}
+
+func readI64(data []byte, off int) int64 {
+	var v int64
+	for i := 0; i < 8; i++ {
+		v |= int64(data[off+i]) << uint(8*i)
+	}
+	return v
+}

@@ -1,0 +1,28 @@
+// Package vthelper is the interprocedural virtualtime fixture: the wall
+// clock is read behind a sanctioned helper, and callers with no time.*
+// reference of their own are still flagged — an escape covers the site,
+// never the functions that call it. The old intraprocedural pass saw
+// nothing wrong with elapsed or report.
+package vthelper
+
+import "time"
+
+// stamp is the direct leaf; the escape hatch sanctions this one site.
+func stamp() int64 {
+	//lint:allow virtualtime fixture: sanctioned wall-clock side channel
+	return time.Now().UnixNano()
+}
+
+// elapsed has no direct time.* reference, but its call graph reaches the
+// wall clock one hop away.
+func elapsed() int64 {
+	return stamp() // want `call reaches the wall clock \(time\.Now\) from a simulated-path package`
+}
+
+// report is two hops away; the witness chain names the path.
+func report() int64 {
+	return elapsed() // want `call reaches the wall clock \(vthelper\.stamp -> time\.Now\) from a simulated-path package`
+}
+
+// budget only touches durations: clean.
+func budget(d time.Duration) time.Duration { return d + time.Millisecond }

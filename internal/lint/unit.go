@@ -126,7 +126,18 @@ func RunUnit(cfgPath string, analyzers []*Analyzer, stdout io.Writer) (int, erro
 		return 0, fmt.Errorf("%s: %v", cfg.ImportPath, pkg.TypeErrors[0])
 	}
 
-	diags, err := Run([]*Package{pkg}, analyzers)
+	// Unit mode sees one package at a time, so the analyzers that assert
+	// absence over a whole-program closure cannot run soundly here (a
+	// helper one package over would turn into a false positive). They are
+	// standalone-mode only; the rest of the suite runs per unit.
+	unitAnalyzers := analyzers[:0:0]
+	for _, a := range analyzers {
+		if !a.NeedWholeProgram {
+			unitAnalyzers = append(unitAnalyzers, a)
+		}
+	}
+
+	diags, err := Run([]*Package{pkg}, unitAnalyzers)
 	if err != nil {
 		return 0, err
 	}

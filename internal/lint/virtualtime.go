@@ -18,6 +18,15 @@ import (
 // Call sites in cmd/ that legitimately need the wall clock (progress
 // reporting on a human terminal) are listed in wallClockAllowed; anything
 // else needs a //lint:allow virtualtime <reason> escape.
+//
+// The check is whole-program: beyond direct time.* references, any function
+// that *reaches* the wall clock through the call graph is flagged at its
+// first offending call edge, with the witness chain. An allowlist entry or
+// //lint:allow sanctions the site it covers, not the functions that call
+// it — telemetry.StartWall may read the wall clock, but a simulated-path
+// package calling StartWall is still a finding. Functions with their own
+// direct time.* references are the direct half's territory and are not
+// re-reported indirectly.
 var VirtualTime = &Analyzer{
 	Name: "virtualtime",
 	Doc:  "forbid wall-clock time (time.Now, time.Sleep, ...) in simulated-path packages",
@@ -57,8 +66,11 @@ var wallClockAllowed = map[string]map[string]bool{
 	"tracklog/cmd/reproduce": {"main": true},
 	// simbench prints total wall time after the run; its per-world host-cost
 	// measurements go through telemetry.StartWall (the wall side channel),
-	// which carries its own //lint:allow escapes.
-	"tracklog/cmd/simbench": {"main": true},
+	// which carries its own //lint:allow escapes. run/runWorld drive that
+	// side channel, so their indirect wall-clock reach is sanctioned too —
+	// the measured wall durations feed -wall-out reporting, never a
+	// simulated timestamp.
+	"tracklog/cmd/simbench": {"main": true, "run": true, "runWorld": true},
 }
 
 func runVirtualTime(pass *Pass) error {
@@ -95,5 +107,43 @@ func runVirtualTime(pass *Pass) error {
 			return true
 		})
 	}
+	reportIndirectTime(pass, allowed)
 	return nil
+}
+
+// reportIndirectTime is the whole-program half: functions with no direct
+// time.* reference whose call graph still reaches the wall clock are
+// flagged at their first offending call edge.
+func reportIndirectTime(pass *Pass, allowed map[string]bool) {
+	chains := pass.Prog.timeTaint()
+	for _, fid := range pass.Prog.FuncsOfPackage(pass.CurPkg) {
+		fi := pass.Prog.Funcs[fid]
+		if len(fi.TimeRefs) > 0 {
+			continue // a leaf: the direct half reported or sanctioned it
+		}
+		if allowed != nil && allowed[funcBaseName(fid)] {
+			continue
+		}
+		if c := firstTaintedCall(fi, chains); c != nil {
+			pass.Reportf(c.Pos,
+				"call reaches the wall clock (%s) from a simulated-path package; route timing through the virtual clock",
+				renderChain(chains[c.ID]))
+		}
+	}
+}
+
+// timeTaint seeds the caller-ward taint closure with every banned time.*
+// reference — sanctioned or not: an escape covers the site, never its
+// callers.
+func (prog *Program) timeTaint() map[string][]string {
+	if prog.timeChains == nil {
+		seeds := make(map[string]string)
+		for id, fi := range prog.Funcs {
+			if len(fi.TimeRefs) > 0 {
+				seeds[id] = "time." + fi.TimeRefs[0].Name
+			}
+		}
+		prog.timeChains = prog.taintCallers(seeds)
+	}
+	return prog.timeChains
 }

@@ -6,6 +6,12 @@ func TestVirtualTimeFixture(t *testing.T) {
 	RunFixture(t, "testdata/src/tracklog/internal/trail", VirtualTime)
 }
 
+func TestVirtualTimeIndirectFixture(t *testing.T) {
+	// The wall clock behind a sanctioned helper: callers with no time.*
+	// reference of their own are flagged with the witness chain.
+	RunFixture(t, "testdata/src/tracklog/internal/vthelper", VirtualTime)
+}
+
 func TestVirtualTimeAllowlist(t *testing.T) {
 	RunFixture(t, "testdata/src/tracklog/cmd/reproduce", VirtualTime)
 }

@@ -77,9 +77,11 @@ type Env struct {
 	seq    int64
 	queue  eventQueue
 	parked chan struct{} // handshake: running proc -> kernel
+	//lint:allow snapshotguard cur is the running process; nil between events, where every snapshot is taken
 	cur    *Proc
 	procs  map[int64]*Proc
 	nextID int64
+	//lint:allow snapshotguard closed guards host-side reuse of this Env value; a closed kernel cannot be snapshotted at all
 	closed bool
 	// liveQueued counts queued events belonging to non-daemon processes;
 	// when it reaches zero the simulation has nothing left to do but
@@ -94,6 +96,7 @@ type Env struct {
 	// pausedProc, when non-nil, is a process parked in place by a probe
 	// hook; RunUntil resumes it before popping the queue, which keeps a
 	// paused-and-resumed run byte-identical to a never-paused one.
+	//lint:allow snapshotguard pausedProc is nil outside a probe-hook pause; snapshots are taken from the hook, where the pause is the caller's own frame
 	pausedProc *Proc
 
 	// tracer, when non-nil, observes process scheduling (see SetTracer).
@@ -105,6 +108,7 @@ type Env struct {
 	// the counters are deterministic functions of the event schedule.
 	// mDispatchDepth, when non-nil, receives the queue depth at each
 	// dispatch (attached via SetMetrics).
+	//lint:allow snapshotguard kstats is host-side self-observability, deliberately outside the replay fingerprint (restore is verify-by-byte-compare)
 	kstats         KernelStats
 	mDispatchDepth *telemetry.Histogram
 	// tlDispatch, when non-nil, counts dispatched events per virtual-time

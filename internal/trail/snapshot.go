@@ -316,6 +316,11 @@ func (d *Driver) Restore(data []byte) error {
 		}
 	}
 
+	// The gate above admitted only open, healthy snapshots; adopt that state
+	// too, so restoring revives a driver that was shut down or failed since
+	// the capture instead of silently keeping it dead.
+	d.closed = false
+	d.failed = nil
 	d.epoch = epoch
 	d.seq = seq
 	d.lastActivity = sim.Time(lastActivity)

@@ -1,0 +1,47 @@
+package trail
+
+import (
+	"testing"
+	"time"
+
+	"tracklog/internal/sim"
+)
+
+// Regression: Restore validated that the snapshot captured an open, healthy
+// driver but never adopted that state — restoring into a driver that had
+// been Shutdown (or had failed) since the capture left it dead, silently
+// diverging from the snapshotted world. Restore must revive the driver.
+func TestRestoreRevivesShutdownDriver(t *testing.T) {
+	r := newRig(t, 1, Config{})
+	defer r.env.Close()
+	dev := r.drv.Dev(0)
+
+	r.env.Go("writer", func(p *sim.Proc) {
+		if err := dev.Write(p, 0, 2, fill(0xAA, 2)); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		p.Sleep(50 * time.Millisecond) // drain write-back to quiescence
+	})
+	r.env.Run()
+	if err := r.drv.Quiescent(); err != nil {
+		t.Fatalf("not quiescent before snapshot: %v", err)
+	}
+	snap := r.drv.Snapshot()
+
+	r.env.Go("closer", func(p *sim.Proc) {
+		if err := r.drv.Shutdown(p); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	r.env.Run()
+
+	if err := r.drv.Restore(snap); err != nil {
+		t.Fatalf("Restore into shut-down driver: %v", err)
+	}
+	r.env.Go("writer2", func(p *sim.Proc) {
+		if err := dev.Write(p, 4, 2, fill(0xBB, 2)); err != nil {
+			t.Errorf("write after restore: %v (driver still closed?)", err)
+		}
+	})
+	r.env.Run()
+}
